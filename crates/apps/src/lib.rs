@@ -1,0 +1,40 @@
+//! Applications of minor-free (ε, D, T)-decompositions (paper §6).
+//!
+//! Every application follows the same pattern the paper describes: build an
+//! (ε*, D, T)-decomposition with [`mfd_core::edt::build_edt`], let every cluster
+//! leader gather its cluster's topology through the decomposition's routing
+//! algorithm, solve the problem *optimally inside the cluster* with free local
+//! computation, and combine the per-cluster solutions. Because the decomposition
+//! drops only an ε* fraction of the edges, the combined solution is a (1 ± O(ε))
+//! approximation for problems whose optimum is a constant fraction of |E| (or of
+//! |V| for bounded-arboricity graphs).
+//!
+//! Modules:
+//!
+//! * [`solvers`] — the exact/near-exact local solvers leaders use: maximum matching
+//!   (blossom algorithm), maximum independent set (branch and bound with reductions
+//!   and a budget-guarded fallback), minimum vertex cover (complement of MIS), and
+//!   maximum cut (exact up to 20 vertices, local search beyond).
+//! * [`sparsifier`] — Solomon's bounded-degree sparsifiers, the one-round reductions
+//!   that let matching / MIS / vertex cover assume Δ = O(1/ε) (paper §6.1).
+//! * [`mis`], [`matching`], [`vertex_cover`], [`max_cut`] — the distributed
+//!   (1 ± ε)-approximation algorithms of Corollaries 6.3–6.5, with round accounting.
+//! * [`property_testing`] — the distributed property tester for additive minor-closed
+//!   properties of Corollary 6.6, including the Barenboim–Elkin error-detection path.
+//! * [`baselines`] — what the paper compares against: greedy/maximal heuristics and
+//!   the randomized exponential-shift low-diameter decomposition (MPX).
+
+pub mod baselines;
+pub mod matching;
+pub mod max_cut;
+pub mod mis;
+pub mod property_testing;
+pub mod solvers;
+pub mod sparsifier;
+pub mod vertex_cover;
+
+pub use matching::approximate_maximum_matching;
+pub use max_cut::approximate_max_cut;
+pub use mis::approximate_mis;
+pub use property_testing::{test_property, PropertyTestOutcome};
+pub use vertex_cover::approximate_vertex_cover;

@@ -1,0 +1,293 @@
+//! Distributed property testing of additive minor-closed properties
+//! (paper §6.2, Corollary 6.6).
+//!
+//! A deterministic distributed tester for a property `P` must accept (every vertex
+//! outputs `accept`) when the network has `P`, and reject (some vertex outputs
+//! `reject`) when the network is ε-far from `P` (at least ε·|E| edge insertions or
+//! deletions are needed to obtain `P`). For any property that is **additive** (closed
+//! under disjoint union) and **minor-closed**, the paper's tester works as follows:
+//!
+//! 1. run the Barenboim–Elkin forest-decomposition error detection with the
+//!    arboricity bound of the property's graphs — on arbitrary inputs this is what
+//!    keeps the decomposition machinery honest: if the bound fails, some vertex
+//!    rejects immediately (the graph cannot have `P`);
+//! 2. build an (ε/2, D, T)-decomposition;
+//! 3. every cluster leader gathers its cluster topology and checks `G[S] ∈ P`
+//!    exactly; a violated cluster makes its vertices reject.
+//!
+//! Completeness follows because `P` is closed under taking subgraphs (it is
+//! minor-closed); soundness because if all clusters have `P`, additivity implies the
+//! graph obtained by deleting the ≤ (ε/2)·|E| inter-cluster edges has `P`,
+//! contradicting ε-farness.
+
+use mfd_congest::RoundMeter;
+use mfd_core::edt::{build_edt, EdtConfig};
+use mfd_core::forests::forest_decomposition_default;
+use mfd_graph::{planarity, recognition, Graph};
+
+/// An additive, minor-closed graph property with an exact membership oracle used by
+/// cluster leaders (free local computation in the model).
+pub trait MinorClosedProperty {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+    /// Exact membership test.
+    fn holds(&self, g: &Graph) -> bool;
+    /// An arboricity upper bound valid for every graph with the property (used by the
+    /// error-detection step).
+    fn arboricity_bound(&self) -> usize;
+}
+
+/// Planarity (forbidden minors K5, K3,3). Arboricity of planar graphs is ≤ 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planarity;
+
+impl MinorClosedProperty for Planarity {
+    fn name(&self) -> &'static str {
+        "planarity"
+    }
+    fn holds(&self, g: &Graph) -> bool {
+        planarity::is_planar(g)
+    }
+    fn arboricity_bound(&self) -> usize {
+        3
+    }
+}
+
+/// Forests (forbidden minor K3). Arboricity 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Forests;
+
+impl MinorClosedProperty for Forests {
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+    fn holds(&self, g: &Graph) -> bool {
+        recognition::is_forest(g)
+    }
+    fn arboricity_bound(&self) -> usize {
+        1
+    }
+}
+
+/// Treewidth at most 2 (forbidden minor K4). Arboricity ≤ 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreewidthAtMostTwo;
+
+impl MinorClosedProperty for TreewidthAtMostTwo {
+    fn name(&self) -> &'static str {
+        "treewidth<=2"
+    }
+    fn holds(&self, g: &Graph) -> bool {
+        recognition::has_treewidth_at_most_2(g)
+    }
+    fn arboricity_bound(&self) -> usize {
+        2
+    }
+}
+
+/// Outerplanarity (forbidden minors K4, K2,3). Arboricity ≤ 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Outerplanarity;
+
+impl MinorClosedProperty for Outerplanarity {
+    fn name(&self) -> &'static str {
+        "outerplanarity"
+    }
+    fn holds(&self, g: &Graph) -> bool {
+        recognition::is_outerplanar(g)
+    }
+    fn arboricity_bound(&self) -> usize {
+        2
+    }
+}
+
+/// Why the tester rejected (if it did).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The arboricity-based error detection fired (the graph cannot have the
+    /// property, and the decomposition machinery is not trusted on it).
+    ArboricityCertificateFailed,
+    /// Some cluster's induced subgraph violates the property.
+    ClusterViolation {
+        /// Index of a violating cluster.
+        cluster: usize,
+        /// Number of vertices in that cluster.
+        cluster_size: usize,
+    },
+    /// The decomposition did not reach the required inter-cluster edge fraction
+    /// within its round budget (treated conservatively as a rejection).
+    DecompositionFailed,
+}
+
+/// Outcome of one run of the distributed property tester.
+#[derive(Debug, Clone)]
+pub struct PropertyTestOutcome {
+    /// `true` = every vertex accepts.
+    pub accepted: bool,
+    /// Reason for rejection, when rejected.
+    pub reason: Option<RejectReason>,
+    /// Total rounds charged (error detection + decomposition + per-cluster checks).
+    pub rounds: u64,
+    /// Rounds of the error-detection (forest decomposition) step.
+    pub error_detection_rounds: u64,
+    /// Number of clusters examined.
+    pub clusters: usize,
+}
+
+/// Runs the distributed property tester for `property` with proximity parameter
+/// `epsilon`.
+///
+/// # Example
+///
+/// ```
+/// use mfd_apps::property_testing::{test_property, Planarity};
+/// use mfd_graph::generators;
+///
+/// let planar = generators::triangulated_grid(6, 6);
+/// assert!(test_property(&planar, &Planarity, 0.2).accepted);
+///
+/// let far = generators::with_random_chords(&generators::random_apollonian(60, 1), 40, 7);
+/// assert!(!test_property(&far, &Planarity, 0.2).accepted);
+/// ```
+pub fn test_property<P: MinorClosedProperty>(
+    g: &Graph,
+    property: &P,
+    epsilon: f64,
+) -> PropertyTestOutcome {
+    assert!(epsilon > 0.0 && epsilon < 1.0);
+    let mut meter = RoundMeter::new();
+
+    // Step 1: error detection via the Barenboim–Elkin forest decomposition.
+    let fd = forest_decomposition_default(g, property.arboricity_bound(), &mut meter);
+    let error_detection_rounds = meter.rounds();
+    if fd.rejected {
+        return PropertyTestOutcome {
+            accepted: false,
+            reason: Some(RejectReason::ArboricityCertificateFailed),
+            rounds: meter.rounds(),
+            error_detection_rounds,
+            clusters: 0,
+        };
+    }
+
+    // Step 2: (ε/2, D, T)-decomposition.
+    let (decomposition, edt_meter) = build_edt(g, &EdtConfig::new(epsilon / 2.0));
+    meter.merge_sequential(&edt_meter);
+    if decomposition.epsilon_achieved > epsilon / 2.0 + 1e-9 {
+        return PropertyTestOutcome {
+            accepted: false,
+            reason: Some(RejectReason::DecompositionFailed),
+            rounds: meter.rounds(),
+            error_detection_rounds,
+            clusters: decomposition.clustering.num_clusters(),
+        };
+    }
+
+    // Step 3: per-cluster membership checks at the leaders (one more routing
+    // execution to announce the verdict).
+    meter.charge_rounds(decomposition.routing_rounds);
+    let clusters = decomposition.clustering.num_clusters();
+    for c in 0..clusters {
+        let members = decomposition.clustering.members(c);
+        if members.len() <= 1 {
+            continue;
+        }
+        let (sub, _) = g.induced_subgraph(members);
+        if !property.holds(&sub) {
+            return PropertyTestOutcome {
+                accepted: false,
+                reason: Some(RejectReason::ClusterViolation {
+                    cluster: c,
+                    cluster_size: members.len(),
+                }),
+                rounds: meter.rounds(),
+                error_detection_rounds,
+                clusters,
+            };
+        }
+    }
+    PropertyTestOutcome {
+        accepted: true,
+        reason: None,
+        rounds: meter.rounds(),
+        error_detection_rounds,
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_graph::generators;
+
+    #[test]
+    fn planar_graphs_are_accepted() {
+        for g in [
+            generators::triangulated_grid(8, 8),
+            generators::random_apollonian(150, 3),
+            generators::grid(10, 10),
+            generators::wheel(40),
+            generators::random_tree(100, 1),
+        ] {
+            let outcome = test_property(&g, &Planarity, 0.25);
+            assert!(outcome.accepted, "planar graph rejected: {:?}", outcome.reason);
+        }
+    }
+
+    #[test]
+    fn graphs_far_from_planarity_are_rejected() {
+        // A maximal planar graph plus 30% random chords needs ~0.23·m deletions to
+        // become planar again: ε-far for ε = 0.15.
+        let base = generators::random_apollonian(120, 5);
+        let far = generators::with_random_chords(&base, base.m() * 3 / 10, 11);
+        let outcome = test_property(&far, &Planarity, 0.15);
+        assert!(!outcome.accepted);
+
+        // A complete graph is very far from planarity and also fails the arboricity
+        // certificate.
+        let k = generators::complete(30);
+        let outcome = test_property(&k, &Planarity, 0.2);
+        assert!(!outcome.accepted);
+        assert_eq!(
+            outcome.reason,
+            Some(RejectReason::ArboricityCertificateFailed)
+        );
+    }
+
+    #[test]
+    fn forests_tester_accepts_forests_and_rejects_dense_graphs() {
+        let forest = generators::random_tree(120, 3).disjoint_union(&generators::random_tree(60, 4));
+        assert!(test_property(&forest, &Forests, 0.2).accepted);
+        // A triangulated grid has ~3n edges; a forest has < n: it is far from being a
+        // forest.
+        let g = generators::triangulated_grid(8, 8);
+        assert!(!test_property(&g, &Forests, 0.2).accepted);
+    }
+
+    #[test]
+    fn treewidth_two_tester() {
+        let sp = generators::random_series_parallel(120, 0.6, 2);
+        assert!(test_property(&sp, &TreewidthAtMostTwo, 0.25).accepted);
+        let k4s = generators::disjoint_copies(&generators::complete(4), 30);
+        // 30 disjoint K4's: half the edges must go to kill every K4 minor... they are
+        // far from treewidth ≤ 2.
+        assert!(!test_property(&k4s, &TreewidthAtMostTwo, 0.1).accepted);
+    }
+
+    #[test]
+    fn outerplanarity_tester() {
+        let g = generators::random_outerplanar(80, 9);
+        assert!(test_property(&g, &Outerplanarity, 0.25).accepted);
+        let far = generators::random_apollonian(100, 3);
+        assert!(!test_property(&far, &Outerplanarity, 0.15).accepted);
+    }
+
+    #[test]
+    fn rounds_scale_reported() {
+        let g = generators::triangulated_grid(10, 10);
+        let outcome = test_property(&g, &Planarity, 0.25);
+        assert!(outcome.rounds >= outcome.error_detection_rounds);
+        assert!(outcome.error_detection_rounds > 0);
+        assert!(outcome.clusters >= 1);
+    }
+}

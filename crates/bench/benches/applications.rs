@@ -1,0 +1,80 @@
+//! Experiments F5–F7 (Corollaries 6.3–6.5): approximation quality and round counts of
+//! the distributed MIS / matching / vertex cover / max cut algorithms versus their
+//! greedy baselines, as a function of ε.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfd_apps::matching::{approximate_maximum_matching, MatchingConfig};
+use mfd_apps::max_cut::{approximate_max_cut, MaxCutConfig};
+use mfd_apps::mis::{approximate_mis, MisConfig};
+use mfd_apps::solvers;
+use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
+use mfd_bench::{f3, Table};
+use mfd_graph::generators;
+
+fn print_applications_table() {
+    let g = generators::random_apollonian(400, 0xF5);
+    let greedy_mis = solvers::greedy_independent_set(&g).len();
+    let greedy_matching = solvers::greedy_matching(&g).len();
+    let opt_matching = solvers::matching_edges(&solvers::maximum_matching(&g)).len();
+
+    let mut table = Table::new(
+        "F5/F6/F7 — (1±ε)-approximation quality and rounds on apollonian-400 (planar, unbounded Δ)",
+        &["problem", "ε", "value", "baseline", "rounds", "clusters"],
+    );
+    for eps in [0.4, 0.2, 0.1] {
+        let mis = approximate_mis(&g, &MisConfig::new(eps));
+        table.row(vec![
+            "max independent set".into(),
+            f3(eps),
+            mis.independent_set.len().to_string(),
+            format!("greedy {greedy_mis}"),
+            mis.rounds.to_string(),
+            mis.clusters.to_string(),
+        ]);
+        let m = approximate_maximum_matching(&g, &MatchingConfig::new(eps));
+        table.row(vec![
+            "max matching".into(),
+            f3(eps),
+            m.matching.len().to_string(),
+            format!("greedy {greedy_matching} / opt {opt_matching}"),
+            m.rounds.to_string(),
+            m.clusters.to_string(),
+        ]);
+        let vc = approximate_vertex_cover(&g, &VertexCoverConfig::new(eps));
+        table.row(vec![
+            "min vertex cover".into(),
+            f3(eps),
+            vc.cover.len().to_string(),
+            format!("2-approx {}", mfd_apps::baselines::two_approx_vertex_cover(&g).len()),
+            vc.rounds.to_string(),
+            vc.clusters.to_string(),
+        ]);
+        let cut = approximate_max_cut(&g, &MaxCutConfig::new(eps));
+        table.row(vec![
+            "max cut".into(),
+            f3(eps),
+            cut.cut_edges.to_string(),
+            format!("m/2 = {}", g.m() / 2),
+            cut.rounds.to_string(),
+            cut.clusters.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_applications(c: &mut Criterion) {
+    print_applications_table();
+    let g = generators::triangulated_grid(14, 14);
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+    group.bench_function("approximate_mis_trigrid14_eps0.3", |b| {
+        b.iter(|| approximate_mis(&g, &MisConfig::new(0.3)))
+    });
+    group.bench_function("approximate_max_cut_trigrid14_eps0.3", |b| {
+        b.iter(|| approximate_max_cut(&g, &MaxCutConfig::new(0.3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment F3 (Corollary 6.1): deterministic low-diameter decomposition quality
+//! (edge fraction, diameter) versus the randomized MPX baseline and the generic
+//! region-growing construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfd_apps::baselines::mpx_ldd;
+use mfd_bench::{f3, Table};
+use mfd_congest::RoundMeter;
+use mfd_core::ldd::{chop_ldd, measure_ldd, region_growing_ldd};
+use mfd_graph::generators;
+
+fn print_ldd_table() {
+    let mut table = Table::new(
+        "F3 — low-diameter decomposition: deterministic chop (Cor 6.1) vs region growing vs randomized MPX",
+        &["graph", "ε", "method", "edge fraction", "max diameter", "clusters"],
+    );
+    let graphs = vec![
+        ("tri-grid-24x24", generators::triangulated_grid(24, 24)),
+        ("apollonian-800", generators::random_apollonian(800, 5)),
+    ];
+    for (name, g) in &graphs {
+        for eps in [0.4, 0.2, 0.1] {
+            let det = measure_ldd(g, &chop_ldd(g, eps, 3));
+            table.row(vec![
+                name.to_string(),
+                f3(eps),
+                "chop (deterministic)".into(),
+                f3(det.edge_fraction),
+                det.max_diameter.to_string(),
+                det.clusters.to_string(),
+            ]);
+            let rg = measure_ldd(g, &region_growing_ldd(g, eps));
+            table.row(vec![
+                name.to_string(),
+                f3(eps),
+                "region growing".into(),
+                f3(rg.edge_fraction),
+                rg.max_diameter.to_string(),
+                rg.clusters.to_string(),
+            ]);
+            let mut meter = RoundMeter::new();
+            let mpx = measure_ldd(g, &mpx_ldd(g, eps, 7, &mut meter));
+            table.row(vec![
+                name.to_string(),
+                f3(eps),
+                "MPX (randomized)".into(),
+                f3(mpx.edge_fraction),
+                mpx.max_diameter.to_string(),
+                mpx.clusters.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+fn bench_ldd(c: &mut Criterion) {
+    print_ldd_table();
+    let g = generators::triangulated_grid(24, 24);
+    let mut group = c.benchmark_group("ldd");
+    group.sample_size(10);
+    group.bench_function("chop_ldd_trigrid24_eps0.2", |b| b.iter(|| chop_ldd(&g, 0.2, 3)));
+    group.bench_function("region_growing_trigrid24_eps0.2", |b| {
+        b.iter(|| region_growing_ldd(&g, 0.2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldd);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment F8 (Corollary 6.6): distributed property testing of planarity —
+//! verdicts and round counts as a function of n, on planar inputs, ε-far inputs and
+//! arboricity-violating inputs (error-detection path). The Ω(log n / ε) lower bound
+//! shape is checked by the slow growth of the round count with n.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfd_apps::property_testing::{test_property, Planarity};
+use mfd_bench::Table;
+use mfd_graph::generators;
+
+fn print_property_testing_table() {
+    let mut table = Table::new(
+        "F8 — property testing of planarity (ε = 0.2): verdict and rounds vs n",
+        &["instance", "n", "m", "verdict", "rounds", "error-detection rounds", "clusters"],
+    );
+    let eps = 0.2;
+    let mut cases: Vec<(String, mfd_graph::Graph)> = Vec::new();
+    for s in [12usize, 20, 28] {
+        cases.push((format!("planar tri-grid {s}x{s}"), generators::triangulated_grid(s, s)));
+    }
+    for n in [200usize, 500] {
+        let base = generators::random_apollonian(n, 3);
+        let chords = base.m() * 3 / 10;
+        cases.push((
+            format!("apollonian-{n} + 30% chords (ε-far)"),
+            generators::with_random_chords(&base, chords, 9),
+        ));
+    }
+    cases.push(("K40 (arboricity reject)".into(), generators::complete(40)));
+    for (name, g) in cases {
+        let outcome = test_property(&g, &Planarity, eps);
+        table.row(vec![
+            name,
+            g.n().to_string(),
+            g.m().to_string(),
+            if outcome.accepted { "ACCEPT".into() } else { "REJECT".to_string() },
+            outcome.rounds.to_string(),
+            outcome.error_detection_rounds.to_string(),
+            outcome.clusters.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_property_testing(c: &mut Criterion) {
+    print_property_testing_table();
+    let g = generators::triangulated_grid(16, 16);
+    let mut group = c.benchmark_group("property_testing");
+    group.sample_size(10);
+    group.bench_function("planarity_test_trigrid16", |b| {
+        b.iter(|| test_property(&g, &Planarity, 0.2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_property_testing);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment F9 (§2): the information-gathering primitives — BFS-tree pipeline,
+//! expander-split load balancing (Lemma 2.2) and derandomized walk schedules
+//! (Lemma 2.5) — compared on clusters of different conductance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfd_bench::{f3, Table};
+use mfd_congest::RoundMeter;
+use mfd_graph::generators;
+use mfd_routing::gather::{gather_to_leader, GatherStrategy};
+use mfd_routing::load_balance::LoadBalanceParams;
+use mfd_routing::walks::WalkParams;
+
+fn print_routing_table() {
+    let mut table = Table::new(
+        "F9 — information gathering to the leader: rounds and delivered fraction",
+        &["cluster", "n", "m", "strategy", "rounds", "delivered"],
+    );
+    let clusters = vec![
+        ("hypercube Q6 (expander)", generators::hypercube(6), 0usize),
+        ("wheel-128 (planar expander)", generators::wheel(128), 0usize),
+        ("tri-grid-10x10 (low φ)", generators::triangulated_grid(10, 10), 0usize),
+    ];
+    for (name, g, _) in &clusters {
+        let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
+        let strategies: Vec<(&str, GatherStrategy)> = vec![
+            ("tree pipeline", GatherStrategy::TreePipeline),
+            ("load balance", GatherStrategy::LoadBalance(LoadBalanceParams::default())),
+            ("walk schedule", GatherStrategy::WalkSchedule(WalkParams::default())),
+        ];
+        for (label, strategy) in strategies {
+            let mut meter = RoundMeter::new();
+            let report = gather_to_leader(g, leader, 0.05, &strategy, &mut meter);
+            table.row(vec![
+                name.to_string(),
+                g.n().to_string(),
+                g.m().to_string(),
+                label.to_string(),
+                report.rounds.to_string(),
+                f3(report.delivered_fraction),
+            ]);
+        }
+    }
+    table.print();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    print_routing_table();
+    let g = generators::wheel(128);
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    group.bench_function("tree_gather_wheel128", |b| {
+        b.iter(|| {
+            let mut meter = RoundMeter::new();
+            gather_to_leader(&g, 0, 0.05, &GatherStrategy::TreePipeline, &mut meter)
+        })
+    });
+    group.bench_function("walk_schedule_wheel128", |b| {
+        b.iter(|| {
+            let mut meter = RoundMeter::new();
+            gather_to_leader(
+                &g,
+                0,
+                0.05,
+                &GatherStrategy::WalkSchedule(WalkParams::default()),
+                &mut meter,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

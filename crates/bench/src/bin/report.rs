@@ -1,0 +1,396 @@
+//! Regenerates every table/figure-style series of the paper's quantitative claims
+//! (see DESIGN.md §5 for the experiment index) and prints them as markdown tables.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mfd-bench --bin report              # everything
+//! cargo run --release -p mfd-bench --bin report table1 mis   # selected sections
+//! ```
+
+use mfd_apps::baselines;
+use mfd_apps::matching::{approximate_maximum_matching, MatchingConfig};
+use mfd_apps::max_cut::{approximate_max_cut, MaxCutConfig};
+use mfd_apps::mis::{approximate_mis, MisConfig};
+use mfd_apps::property_testing::{test_property, Planarity};
+use mfd_apps::solvers;
+use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
+use mfd_bench::{f3, Table};
+use mfd_congest::RoundMeter;
+use mfd_core::edt::{build_edt, EdtConfig};
+use mfd_core::expander::{min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams};
+use mfd_core::ldd::{chop_ldd, measure_ldd, region_growing_ldd};
+use mfd_core::overlap::{overlap_expander_decomposition, OverlapParams};
+use mfd_graph::generators;
+use mfd_routing::gather::{gather_to_leader, GatherStrategy};
+use mfd_routing::load_balance::LoadBalanceParams;
+use mfd_routing::walks::WalkParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |section: &str| args.is_empty() || args.iter().any(|a| a == section || a == "all");
+
+    println!("# Measured reproduction report\n");
+    println!("All round counts are CONGEST rounds measured by the simulator; see EXPERIMENTS.md for the paper-vs-measured discussion.\n");
+
+    if want("table1") {
+        table1();
+    }
+    if want("scaling_n") {
+        scaling_n();
+    }
+    if want("scaling_eps") {
+        scaling_eps();
+    }
+    if want("ldd") {
+        ldd_report();
+    }
+    if want("expander") {
+        expander_report();
+    }
+    if want("overlap") {
+        overlap_report();
+    }
+    if want("routing") {
+        routing_report();
+    }
+    if want("mis") || want("matching_vc") || want("maxcut") {
+        applications_report();
+    }
+    if want("ptest") {
+        property_testing_report();
+    }
+    if want("ablations") {
+        ablations_report();
+    }
+}
+
+/// Table 1: the four (Δ, ε) regimes.
+fn table1() {
+    let mut table = Table::new(
+        "T1 / Table 1 — construction rounds and routing time T of the (ε, D, T)-decomposition",
+        &["regime", "graph", "n", "Δ", "ε", "construction", "routing T", "D", "ε achieved"],
+    );
+    let cases: Vec<(&str, &str, mfd_graph::Graph, f64)> = vec![
+        ("Δ const, ε const", "tri-grid 32x32", generators::triangulated_grid(32, 32), 0.25),
+        ("Δ const, ε small", "tri-grid 32x32", generators::triangulated_grid(32, 32), 0.08),
+        ("Δ unbounded, ε const", "apollonian 1000", generators::random_apollonian(1000, 0xA11), 0.25),
+        ("Δ unbounded, ε small", "apollonian 1000", generators::random_apollonian(1000, 0xA11), 0.08),
+        ("Δ unbounded, ε const", "wheel 1000", generators::wheel(1000), 0.25),
+        ("Δ unbounded, ε small", "wheel 1000", generators::wheel(1000), 0.08),
+    ];
+    for (regime, name, g, eps) in cases {
+        let (d, _) = build_edt(&g, &EdtConfig::new(eps));
+        table.row(vec![
+            regime.into(),
+            name.into(),
+            g.n().to_string(),
+            g.max_degree().to_string(),
+            f3(eps),
+            d.construction_rounds.to_string(),
+            d.routing_rounds.to_string(),
+            d.diameter.to_string(),
+            f3(d.epsilon_achieved),
+        ]);
+    }
+    table.print();
+}
+
+/// F1: scaling of construction/routing rounds with n at fixed ε.
+fn scaling_n() {
+    let mut table = Table::new(
+        "F1 — Theorem 1.1 scaling with n (ε = 0.25, bounded-degree planar family)",
+        &["n", "m", "construction rounds", "routing T", "D", "clusters"],
+    );
+    for s in [12usize, 16, 24, 32, 40] {
+        let g = generators::triangulated_grid(s, s);
+        let (d, _) = build_edt(&g, &EdtConfig::new(0.25));
+        table.row(vec![
+            g.n().to_string(),
+            g.m().to_string(),
+            d.construction_rounds.to_string(),
+            d.routing_rounds.to_string(),
+            d.diameter.to_string(),
+            d.clustering.num_clusters().to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// F2: scaling with ε at fixed n.
+fn scaling_eps() {
+    let mut table = Table::new(
+        "F2 — Theorem 1.1 scaling with ε (tri-grid 28x28)",
+        &["ε", "construction rounds", "routing T", "D", "ε achieved", "clusters"],
+    );
+    let g = generators::triangulated_grid(28, 28);
+    for eps in [0.5, 0.35, 0.25, 0.15, 0.1, 0.05] {
+        let (d, _) = build_edt(&g, &EdtConfig::new(eps));
+        table.row(vec![
+            f3(eps),
+            d.construction_rounds.to_string(),
+            d.routing_rounds.to_string(),
+            d.diameter.to_string(),
+            f3(d.epsilon_achieved),
+            d.clustering.num_clusters().to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// F3: low-diameter decompositions vs baselines.
+fn ldd_report() {
+    let mut table = Table::new(
+        "F3 / Corollary 6.1 — LDD quality: deterministic chop vs region growing vs randomized MPX",
+        &["graph", "ε", "method", "edge fraction", "max diameter", "clusters"],
+    );
+    let graphs = vec![
+        ("tri-grid-32x32", generators::triangulated_grid(32, 32)),
+        ("apollonian-1000", generators::random_apollonian(1000, 5)),
+    ];
+    for (name, g) in &graphs {
+        for eps in [0.3, 0.15, 0.08] {
+            for (method, clustering) in [
+                ("chop (deterministic)", chop_ldd(g, eps, 3)),
+                ("region growing", region_growing_ldd(g, eps)),
+                ("MPX (randomized)", {
+                    let mut meter = RoundMeter::new();
+                    baselines::mpx_ldd(g, eps, 11, &mut meter)
+                }),
+            ] {
+                let q = measure_ldd(g, &clustering);
+                table.row(vec![
+                    name.to_string(),
+                    f3(eps),
+                    method.into(),
+                    f3(q.edge_fraction),
+                    q.max_diameter.to_string(),
+                    q.clusters.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+}
+
+/// F4: expander decompositions (Corollary 6.2 / Observation 3.1).
+fn expander_report() {
+    let mut table = Table::new(
+        "F4 / Corollary 6.2 — expander decomposition: achieved fraction and minimum cluster conductance",
+        &["graph", "ε", "edge fraction", "min cluster φ (estimate)", "φ target", "clusters"],
+    );
+    for (name, g) in [
+        ("tri-grid-20x20", generators::triangulated_grid(20, 20)),
+        ("apollonian-400", generators::random_apollonian(400, 9)),
+    ] {
+        for eps in [0.5, 0.3] {
+            let d = minor_free_expander_decomposition(&g, eps, &ExpanderParams::default());
+            let phi = min_cluster_conductance(&g, &d.clustering, 80);
+            table.row(vec![
+                name.to_string(),
+                f3(eps),
+                f3(d.edge_fraction),
+                f3(if phi.is_finite() { phi } else { 1.0 }),
+                f3(d.phi_target),
+                d.clustering.num_clusters().to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// F10: the §4 overlap expander decomposition across its merge iterations.
+fn overlap_report() {
+    let mut table = Table::new(
+        "F10 / §4 — (ε, φ, c) overlap expander decomposition",
+        &["graph", "target ε", "achieved ε", "overlap c", "iterations", "clusters", "rounds"],
+    );
+    for (name, g) in [
+        ("tri-grid-16x16", generators::triangulated_grid(16, 16)),
+        ("apollonian-300", generators::random_apollonian(300, 4)),
+    ] {
+        for eps in [0.5, 0.3] {
+            let mut meter = RoundMeter::new();
+            let d = overlap_expander_decomposition(&g, eps, &OverlapParams::default(), &mut meter);
+            table.row(vec![
+                name.to_string(),
+                f3(eps),
+                f3(d.edge_fraction),
+                d.overlap.to_string(),
+                d.iterations.to_string(),
+                d.clusters.len().to_string(),
+                meter.rounds().to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// F9: the routing primitives.
+fn routing_report() {
+    let mut table = Table::new(
+        "F9 / §2 — information gathering: rounds and delivered fraction by strategy",
+        &["cluster", "n", "strategy", "rounds", "delivered"],
+    );
+    for (name, g) in [
+        ("hypercube Q7", generators::hypercube(7)),
+        ("wheel-256", generators::wheel(256)),
+        ("tri-grid-12x12", generators::triangulated_grid(12, 12)),
+    ] {
+        let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
+        for (label, strategy) in [
+            ("tree pipeline", GatherStrategy::TreePipeline),
+            ("load balance (L2.2)", GatherStrategy::LoadBalance(LoadBalanceParams::default())),
+            ("walk schedule (L2.5)", GatherStrategy::WalkSchedule(WalkParams::default())),
+        ] {
+            let mut meter = RoundMeter::new();
+            let report = gather_to_leader(&g, leader, 0.05, &strategy, &mut meter);
+            table.row(vec![
+                name.to_string(),
+                g.n().to_string(),
+                label.into(),
+                report.rounds.to_string(),
+                f3(report.delivered_fraction),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// F5–F7: the approximation applications.
+fn applications_report() {
+    let g = generators::random_apollonian(600, 0xF5);
+    let exact_matching = solvers::matching_edges(&solvers::maximum_matching(&g)).len();
+    let greedy_mis = solvers::greedy_independent_set(&g).len();
+    let mut table = Table::new(
+        "F5/F6/F7 / Corollaries 6.3–6.5 — approximation quality and rounds (apollonian-600)",
+        &["problem", "ε", "value", "reference", "rounds"],
+    );
+    for eps in [0.4, 0.2, 0.1] {
+        let mis = approximate_mis(&g, &MisConfig::new(eps));
+        table.row(vec![
+            "max independent set".into(),
+            f3(eps),
+            mis.independent_set.len().to_string(),
+            format!("greedy {greedy_mis}, n/4 = {}", g.n() / 4),
+            mis.rounds.to_string(),
+        ]);
+        let m = approximate_maximum_matching(&g, &MatchingConfig::new(eps));
+        table.row(vec![
+            "max matching".into(),
+            f3(eps),
+            m.matching.len().to_string(),
+            format!("blossom optimum {exact_matching}"),
+            m.rounds.to_string(),
+        ]);
+        let vc = approximate_vertex_cover(&g, &VertexCoverConfig::new(eps));
+        table.row(vec![
+            "min vertex cover".into(),
+            f3(eps),
+            vc.cover.len().to_string(),
+            format!("2-approx {}", baselines::two_approx_vertex_cover(&g).len()),
+            vc.rounds.to_string(),
+        ]);
+        let cut = approximate_max_cut(&g, &MaxCutConfig::new(eps));
+        table.row(vec![
+            "max cut".into(),
+            f3(eps),
+            cut.cut_edges.to_string(),
+            format!("m/2 = {}", g.m() / 2),
+            cut.rounds.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// F8: property testing.
+fn property_testing_report() {
+    let mut table = Table::new(
+        "F8 / Corollary 6.6 — planarity testing (ε = 0.2): verdict and rounds",
+        &["instance", "n", "verdict", "rounds", "error-detection rounds"],
+    );
+    let mut cases: Vec<(String, mfd_graph::Graph)> = Vec::new();
+    for s in [16usize, 24, 32] {
+        cases.push((format!("planar tri-grid {s}x{s}"), generators::triangulated_grid(s, s)));
+    }
+    for n in [300usize, 600] {
+        let base = generators::random_apollonian(n, 3);
+        cases.push((
+            format!("apollonian-{n} + 30% chords (ε-far)"),
+            generators::with_random_chords(&base, base.m() * 3 / 10, 9),
+        ));
+    }
+    cases.push(("K50 (arboricity reject)".into(), generators::complete(50)));
+    for (name, g) in cases {
+        let o = test_property(&g, &Planarity, 0.2);
+        table.row(vec![
+            name,
+            g.n().to_string(),
+            if o.accepted { "ACCEPT".into() } else { "REJECT".to_string() },
+            o.rounds.to_string(),
+            o.error_detection_rounds.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// Ablations called out in DESIGN.md §6.
+fn ablations_report() {
+    let g = generators::triangulated_grid(20, 20);
+
+    // Routing strategy ablation for the final routing algorithm A.
+    let mut table = Table::new(
+        "A1 — ablation: routing strategy of the (ε, D, T)-decomposition (tri-grid 20x20, ε = 0.25)",
+        &["routing strategy", "routing T", "construction rounds", "min delivered"],
+    );
+    for (label, strategy) in [
+        ("tree pipeline", GatherStrategy::TreePipeline),
+        ("load balance", GatherStrategy::LoadBalance(LoadBalanceParams::default())),
+        ("walk schedule", GatherStrategy::WalkSchedule(WalkParams::default())),
+    ] {
+        let config = EdtConfig::new(0.25).with_routing_gather(strategy);
+        let (d, _) = build_edt(&g, &config);
+        table.row(vec![
+            label.into(),
+            d.routing_rounds.to_string(),
+            d.construction_rounds.to_string(),
+            f3(d.min_delivered_fraction),
+        ]);
+    }
+    table.print();
+
+    // Sparsifier ablation for MIS.
+    let g2 = generators::random_apollonian(400, 21);
+    let mut table = Table::new(
+        "A2 — ablation: Solomon sparsifier on/off for approximate MIS (apollonian-400, ε = 0.2)",
+        &["sparsifier", "|IS|", "rounds", "clusters"],
+    );
+    for use_sparsifier in [true, false] {
+        let mut config = MisConfig::new(0.2);
+        config.use_sparsifier = use_sparsifier;
+        let r = approximate_mis(&g2, &config);
+        table.row(vec![
+            use_sparsifier.to_string(),
+            r.independent_set.len().to_string(),
+            r.rounds.to_string(),
+            r.clusters.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Chop depth ablation for the LDD.
+    let mut table = Table::new(
+        "A3 — ablation: chop depth of the deterministic LDD (apollonian-600, ε = 0.2)",
+        &["depth", "edge fraction", "max diameter", "clusters"],
+    );
+    let g3 = generators::random_apollonian(600, 2);
+    for depth in [1usize, 2, 3, 4] {
+        let q = measure_ldd(&g3, &chop_ldd(&g3, 0.2, depth));
+        table.row(vec![
+            depth.to_string(),
+            f3(q.edge_fraction),
+            q.max_diameter.to_string(),
+            q.clusters.to_string(),
+        ]);
+    }
+    table.print();
+}

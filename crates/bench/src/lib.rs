@@ -1,0 +1,123 @@
+//! Shared helpers for the benchmark harness: workload definitions and markdown table
+//! formatting used by both the criterion benches and the `report` binary.
+//!
+//! Every experiment of DESIGN.md §5 ("per-experiment index") is regenerated either by
+//! a bench target in `benches/` (which prints its table before the timing loops, so
+//! `cargo bench` output contains the measured series) or by the `report` binary
+//! (`cargo run --release -p mfd-bench --bin report`), which prints every table.
+
+use mfd_graph::{generators, Graph};
+
+/// A named workload instance.
+pub struct Workload {
+    /// Short name used in table rows.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        Workload {
+            name: name.into(),
+            graph,
+        }
+    }
+}
+
+/// Bounded-degree planar family (triangulated grids) at the given side lengths.
+pub fn bounded_degree_family(sides: &[usize]) -> Vec<Workload> {
+    sides
+        .iter()
+        .map(|&s| Workload::new(format!("tri-grid-{s}x{s}"), generators::triangulated_grid(s, s)))
+        .collect()
+}
+
+/// Unbounded-degree planar family: random Apollonian networks (maximum degree grows
+/// with n) and wheels.
+pub fn unbounded_degree_family(sizes: &[usize]) -> Vec<Workload> {
+    let mut v: Vec<Workload> = sizes
+        .iter()
+        .map(|&n| Workload::new(format!("apollonian-{n}"), generators::random_apollonian(n, 0xA11)))
+        .collect();
+    v.extend(
+        sizes
+            .iter()
+            .map(|&n| Workload::new(format!("wheel-{n}"), generators::wheel(n.max(8)))),
+    );
+    v
+}
+
+/// A simple markdown table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn families_are_nonempty_and_connected() {
+        for w in bounded_degree_family(&[6, 8]) {
+            assert!(w.graph.is_connected());
+        }
+        for w in unbounded_degree_family(&[50]) {
+            assert!(w.graph.is_connected());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! A deterministic synchronous CONGEST/LOCAL simulator with round and bandwidth
+//! accounting.
+//!
+//! The paper's algorithms are stated in the CONGEST model: computation proceeds in
+//! synchronous rounds; in each round every vertex may send one O(log n)-bit message
+//! across each incident edge; local computation is free. The quantities the paper
+//! (and therefore our benchmark harness) cares about are **round counts** — wall-clock
+//! time of the simulating machine is irrelevant.
+//!
+//! This crate provides:
+//!
+//! * [`RoundMeter`] — the accounting object. Distributed subroutines submit their
+//!   per-round message sets through it; the meter verifies that every message travels
+//!   along an edge of the graph and that the per-edge, per-direction bandwidth cap is
+//!   respected, and accumulates round / message counts.
+//! * [`primitives`] — the standard building blocks used by the decomposition layer:
+//!   BFS-tree construction inside a cluster, convergecast / broadcast along the tree,
+//!   pipelined upcast and downcast of `deg(v)` messages per vertex (the "direct"
+//!   information-gathering baseline), and leader election.
+//!
+//! Parallel composition across clusters follows the paper's convention: routines
+//! executed in parallel on vertex-disjoint clusters cost the **maximum** of their
+//! round counts (each cluster only uses its own edges); this is expressed with
+//! [`RoundMeter::merge_parallel`]. When clusters may overlap on edges (the
+//! `(ε, φ, c)` decompositions of §4), the caller multiplies by the overlap factor `c`
+//! exactly as the paper does, using [`RoundMeter::charge_rounds`].
+
+pub mod meter;
+pub mod primitives;
+
+pub use meter::{CongestError, Message, RoundMeter};
+pub use primitives::BfsTree;

@@ -1,0 +1,328 @@
+//! Round and bandwidth accounting for CONGEST simulations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mfd_graph::Graph;
+
+/// A single directed message submitted in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending vertex.
+    pub src: usize,
+    /// Receiving vertex (must be a neighbor of `src`).
+    pub dst: usize,
+    /// Size of the message in 64-bit words. One CONGEST message of O(log n) bits is
+    /// one word for all graph sizes this library handles.
+    pub words: usize,
+}
+
+impl Message {
+    /// Convenience constructor for a one-word message.
+    pub fn word(src: usize, dst: usize) -> Self {
+        Message { src, dst, words: 1 }
+    }
+}
+
+/// Errors raised when a submitted round violates the CONGEST model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// A message was submitted along a pair of vertices that is not an edge.
+    NotAnEdge { src: usize, dst: usize },
+    /// The total number of words sent over a directed edge in one round exceeded the
+    /// per-round capacity.
+    BandwidthExceeded {
+        src: usize,
+        dst: usize,
+        words: usize,
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::NotAnEdge { src, dst } => {
+                write!(f, "message submitted along non-edge ({src}, {dst})")
+            }
+            CongestError::BandwidthExceeded {
+                src,
+                dst,
+                words,
+                capacity,
+            } => write!(
+                f,
+                "bandwidth exceeded on edge ({src}, {dst}): {words} words > capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+/// Statistics of one named phase of an algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Phase name.
+    pub name: String,
+    /// Rounds spent in the phase.
+    pub rounds: u64,
+    /// Messages sent in the phase.
+    pub messages: u64,
+}
+
+/// The accounting object for a CONGEST execution.
+///
+/// A `RoundMeter` tracks the number of synchronous rounds and messages used by an
+/// algorithm (or a piece of one). Sub-computations that run **in parallel** on
+/// edge-disjoint parts of the network are metered separately and folded in with
+/// [`RoundMeter::merge_parallel`] (max of rounds); **sequential** composition uses
+/// [`RoundMeter::merge_sequential`] (sum of rounds).
+///
+/// # Example
+///
+/// ```
+/// use mfd_congest::{Message, RoundMeter};
+/// use mfd_graph::generators;
+///
+/// let g = generators::path(4);
+/// let mut meter = RoundMeter::new();
+/// meter.round(&g, &[Message::word(0, 1), Message::word(2, 1)]).unwrap();
+/// assert_eq!(meter.rounds(), 1);
+/// assert_eq!(meter.messages(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundMeter {
+    rounds: u64,
+    messages: u64,
+    capacity_words: usize,
+    max_words_on_edge: usize,
+    phases: Vec<PhaseRecord>,
+    phase_start: Option<(String, u64, u64)>,
+}
+
+impl Default for RoundMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundMeter {
+    /// Default per-edge, per-direction, per-round bandwidth in 64-bit words.
+    /// One word comfortably encodes one O(log n)-bit CONGEST message for any graph
+    /// this library can hold in memory.
+    pub const DEFAULT_CAPACITY_WORDS: usize = 1;
+
+    /// Creates a meter with the default bandwidth.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY_WORDS)
+    }
+
+    /// Creates a meter with a custom per-edge per-round word capacity.
+    pub fn with_capacity(capacity_words: usize) -> Self {
+        RoundMeter {
+            rounds: 0,
+            messages: 0,
+            capacity_words: capacity_words.max(1),
+            max_words_on_edge: 0,
+            phases: Vec::new(),
+            phase_start: None,
+        }
+    }
+
+    /// Total rounds accumulated.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total messages accumulated.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Per-edge per-round capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Largest per-edge load (in words) observed in any single round.
+    pub fn max_words_on_edge(&self) -> usize {
+        self.max_words_on_edge
+    }
+
+    /// Records one synchronous round in which the given messages are sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NotAnEdge`] if a message does not follow an edge of
+    /// `g`, and [`CongestError::BandwidthExceeded`] if the total words over a directed
+    /// edge exceed the capacity. The round is counted even in the error case so that
+    /// partial accounting remains monotone.
+    pub fn round(&mut self, g: &Graph, msgs: &[Message]) -> Result<(), CongestError> {
+        self.rounds += 1;
+        self.messages += msgs.len() as u64;
+        let mut per_edge: HashMap<(usize, usize), usize> = HashMap::new();
+        for m in msgs {
+            if !g.has_edge(m.src, m.dst) {
+                return Err(CongestError::NotAnEdge {
+                    src: m.src,
+                    dst: m.dst,
+                });
+            }
+            *per_edge.entry((m.src, m.dst)).or_insert(0) += m.words;
+        }
+        for (&(src, dst), &words) in &per_edge {
+            self.max_words_on_edge = self.max_words_on_edge.max(words);
+            if words > self.capacity_words {
+                return Err(CongestError::BandwidthExceeded {
+                    src,
+                    dst,
+                    words,
+                    capacity: self.capacity_words,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records `r` rounds without individual message verification.
+    ///
+    /// Used for sub-routines whose per-round message pattern is provably within
+    /// capacity (e.g. broadcasting one word down a BFS tree) or when applying one of
+    /// the paper's explicit congestion factors (e.g. the ×c overhead for overlapping
+    /// clusters).
+    pub fn charge_rounds(&mut self, r: u64) {
+        self.rounds += r;
+    }
+
+    /// Records `m` messages without per-edge verification; companion of
+    /// [`RoundMeter::charge_rounds`].
+    pub fn charge_messages(&mut self, m: u64) {
+        self.messages += m;
+    }
+
+    /// Folds in meters of sub-computations that ran **in parallel** on edge-disjoint
+    /// parts of the graph: rounds increase by the maximum, messages by the sum.
+    pub fn merge_parallel<'a>(&mut self, meters: impl IntoIterator<Item = &'a RoundMeter>) {
+        let mut max_rounds = 0;
+        for m in meters {
+            max_rounds = max_rounds.max(m.rounds);
+            self.messages += m.messages;
+            self.max_words_on_edge = self.max_words_on_edge.max(m.max_words_on_edge);
+        }
+        self.rounds += max_rounds;
+    }
+
+    /// Folds in a meter of a sub-computation that ran **after** everything recorded so
+    /// far: both rounds and messages add.
+    pub fn merge_sequential(&mut self, meter: &RoundMeter) {
+        self.rounds += meter.rounds;
+        self.messages += meter.messages;
+        self.max_words_on_edge = self.max_words_on_edge.max(meter.max_words_on_edge);
+    }
+
+    /// Starts a named phase; the next [`RoundMeter::end_phase`] records the rounds and
+    /// messages spent since this call.
+    pub fn start_phase(&mut self, name: &str) {
+        self.phase_start = Some((name.to_string(), self.rounds, self.messages));
+    }
+
+    /// Ends the current phase (no-op if none is active).
+    pub fn end_phase(&mut self) {
+        if let Some((name, r0, m0)) = self.phase_start.take() {
+            self.phases.push(PhaseRecord {
+                name,
+                rounds: self.rounds - r0,
+                messages: self.messages - m0,
+            });
+        }
+    }
+
+    /// Phase records accumulated so far.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_graph::generators;
+
+    #[test]
+    fn round_counts_and_validates_edges() {
+        let g = generators::cycle(4);
+        let mut meter = RoundMeter::new();
+        meter
+            .round(&g, &[Message::word(0, 1), Message::word(1, 2)])
+            .unwrap();
+        assert_eq!(meter.rounds(), 1);
+        assert_eq!(meter.messages(), 2);
+        let err = meter.round(&g, &[Message::word(0, 2)]).unwrap_err();
+        assert_eq!(err, CongestError::NotAnEdge { src: 0, dst: 2 });
+    }
+
+    #[test]
+    fn bandwidth_is_enforced_per_direction() {
+        let g = generators::path(3);
+        let mut meter = RoundMeter::new();
+        // Two one-word messages over the same directed edge exceed a 1-word capacity.
+        let err = meter
+            .round(&g, &[Message::word(0, 1), Message::word(0, 1)])
+            .unwrap_err();
+        assert!(matches!(err, CongestError::BandwidthExceeded { .. }));
+        // Opposite directions are fine.
+        meter
+            .round(&g, &[Message::word(0, 1), Message::word(1, 0)])
+            .unwrap();
+    }
+
+    #[test]
+    fn larger_capacity_allows_more_words() {
+        let g = generators::path(3);
+        let mut meter = RoundMeter::with_capacity(4);
+        meter
+            .round(
+                &g,
+                &[Message {
+                    src: 0,
+                    dst: 1,
+                    words: 4,
+                }],
+            )
+            .unwrap();
+        assert_eq!(meter.max_words_on_edge(), 4);
+    }
+
+    #[test]
+    fn parallel_merge_takes_max_rounds() {
+        let mut a = RoundMeter::new();
+        a.charge_rounds(5);
+        a.charge_messages(10);
+        let mut b = RoundMeter::new();
+        b.charge_rounds(3);
+        b.charge_messages(7);
+        let mut total = RoundMeter::new();
+        total.merge_parallel([&a, &b]);
+        assert_eq!(total.rounds(), 5);
+        assert_eq!(total.messages(), 17);
+        total.merge_sequential(&b);
+        assert_eq!(total.rounds(), 8);
+    }
+
+    #[test]
+    fn phases_record_deltas() {
+        let g = generators::path(4);
+        let mut meter = RoundMeter::new();
+        meter.start_phase("first");
+        meter.round(&g, &[Message::word(0, 1)]).unwrap();
+        meter.end_phase();
+        meter.start_phase("second");
+        meter.charge_rounds(3);
+        meter.end_phase();
+        assert_eq!(meter.phases().len(), 2);
+        assert_eq!(meter.phases()[0].rounds, 1);
+        assert_eq!(meter.phases()[1].rounds, 3);
+        assert_eq!(meter.phases()[1].messages, 0);
+    }
+}

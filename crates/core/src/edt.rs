@@ -1,0 +1,479 @@
+//! The (ε, D, T)-decomposition of Theorem 1.1.
+//!
+//! An `(ε, D, T)`-decomposition consists of a partition into clusters with at most
+//! `ε|E|` crossing edges, cluster diameter at most `D`, a leader per cluster, and a
+//! routing algorithm `A` that lets every vertex `v` of a cluster send `deg(v)`
+//! messages to the leader (and receive answers back) in `T` rounds, in parallel over
+//! all clusters.
+//!
+//! The construction follows the paper's architecture (Lemmas 5.3–5.5):
+//!
+//! 1. **Bottom-up merging** (Lemma 5.3): starting from singletons, repeatedly run the
+//!    heavy-stars algorithm on the cluster graph — the per-cluster information needed
+//!    by heavy-stars (the heaviest incident cluster) is obtained with a metered
+//!    in-cluster gather — and merge the surviving stars after dropping light links.
+//!    Each iteration reduces the inter-cluster edge fraction by a constant factor.
+//! 2. **Leader refinement** (Lemmas 5.4/5.5): when cluster diameters exceed the
+//!    `O(1/ε)` target, every leader gathers its cluster topology, locally computes a
+//!    low-diameter decomposition of the cluster (Lemma 3.1 / `chop_ldd`), and
+//!    distributes the refined assignment. Refinements spend a dedicated ε/2 budget of
+//!    additional crossing edges, so the final fraction stays below ε.
+//! 3. **Routing setup**: each cluster elects its maximum-degree vertex as leader and
+//!    the routing algorithm `A` (BFS-tree pipeline, load balancing, or derandomized
+//!    walk schedule, per configuration) is executed once to measure `T`.
+//!
+//! All rounds are charged on the returned [`RoundMeter`]; the phases are recorded so
+//! the benchmark harness can report the construction-time/routing-time split of
+//! Table 1.
+
+use mfd_congest::RoundMeter;
+use mfd_graph::Graph;
+use mfd_routing::gather::{gather_to_leader, GatherReport, GatherStrategy};
+
+use crate::clustering::Clustering;
+use crate::heavy_stars::heavy_stars;
+use crate::ldd::chop_ldd;
+
+/// Configuration for [`build_edt`].
+#[derive(Debug, Clone)]
+pub struct EdtConfig {
+    /// Target inter-cluster edge fraction ε ∈ (0, 1).
+    pub epsilon: f64,
+    /// Arboricity upper bound α of the (minor-free) input family; 3 covers planar
+    /// graphs.
+    pub alpha: usize,
+    /// Chopping depth of the leader-local low-diameter decomposition (3 for planar).
+    pub chop_depth: usize,
+    /// Diameter target multiplier: clusters are refined once their diameter exceeds
+    /// `diameter_slack · chop_depth / ε`.
+    pub diameter_slack: usize,
+    /// Gathering strategy used by the final routing algorithm `A`.
+    pub routing_gather: GatherStrategy,
+    /// Gathering strategy used during construction (topology / weight gathers).
+    pub construction_gather: GatherStrategy,
+    /// Failure fraction `f` handed to the expander gatherers.
+    pub failure_fraction: f64,
+    /// Maximum number of merge iterations.
+    pub max_iterations: usize,
+}
+
+impl EdtConfig {
+    /// Default configuration for a given ε: planar-grade constants, tree-pipeline
+    /// routing.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+        EdtConfig {
+            epsilon,
+            alpha: 3,
+            chop_depth: 3,
+            diameter_slack: 6,
+            routing_gather: GatherStrategy::TreePipeline,
+            construction_gather: GatherStrategy::TreePipeline,
+            failure_fraction: 0.05,
+            max_iterations: 80,
+        }
+    }
+
+    /// Sets the routing strategy used by the final routing algorithm `A`.
+    pub fn with_routing_gather(mut self, strategy: GatherStrategy) -> Self {
+        self.routing_gather = strategy;
+        self
+    }
+
+    /// Sets the arboricity bound.
+    pub fn with_alpha(mut self, alpha: usize) -> Self {
+        self.alpha = alpha.max(1);
+        self
+    }
+
+    /// The diameter target `diameter_slack · chop_depth / ε` used to trigger
+    /// refinement.
+    pub fn diameter_target(&self) -> usize {
+        ((self.diameter_slack * self.chop_depth) as f64 / self.epsilon).ceil() as usize
+    }
+}
+
+/// The output of [`build_edt`].
+#[derive(Debug, Clone)]
+pub struct EdtDecomposition {
+    /// The partition into clusters.
+    pub clustering: Clustering,
+    /// Leader vertex of each cluster (a vertex of the cluster with maximum degree).
+    pub leaders: Vec<usize>,
+    /// Target ε.
+    pub epsilon_target: f64,
+    /// Achieved inter-cluster edge fraction.
+    pub epsilon_achieved: f64,
+    /// Maximum induced cluster diameter (the `D` of the decomposition).
+    pub diameter: usize,
+    /// Measured routing time `T`: rounds to run the routing algorithm `A` once
+    /// (all clusters in parallel).
+    pub routing_rounds: u64,
+    /// Rounds spent constructing the decomposition (excludes `routing_rounds`).
+    pub construction_rounds: u64,
+    /// Number of merge iterations executed.
+    pub iterations: usize,
+    /// Number of refinement passes executed.
+    pub refinements: usize,
+    /// Name of the routing strategy behind `A`.
+    pub routing_strategy: &'static str,
+    /// Minimum per-cluster delivered fraction observed when running `A` once.
+    pub min_delivered_fraction: f64,
+}
+
+impl EdtDecomposition {
+    /// Checks the (ε, D) part of the decomposition: edge fraction within target and
+    /// all clusters connected with diameter equal to the recorded value.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.epsilon_achieved <= self.epsilon_target + 1e-9
+            && self.clustering.all_clusters_connected(g)
+            && self.clustering.edge_fraction(g) <= self.epsilon_target + 1e-9
+    }
+}
+
+/// Builds an (ε, D, T)-decomposition of `g` and returns it together with the meter
+/// holding the full round accounting (construction phases plus one execution of the
+/// routing algorithm).
+///
+/// # Example
+///
+/// ```
+/// use mfd_core::edt::{build_edt, EdtConfig};
+/// use mfd_graph::generators;
+///
+/// let g = generators::grid(10, 10);
+/// let (d, meter) = build_edt(&g, &EdtConfig::new(0.3));
+/// assert!(d.epsilon_achieved <= 0.3);
+/// assert!(d.is_valid(&g));
+/// assert!(meter.rounds() >= d.routing_rounds);
+/// ```
+pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter) {
+    let mut meter = RoundMeter::new();
+    let eps = config.epsilon;
+    let merge_target = eps / 2.0;
+    let mut refine_budget = eps / 2.0;
+    let d_target = config.diameter_target();
+
+    let mut clustering = Clustering::singletons(g);
+    let mut iterations = 0usize;
+    let mut refinements = 0usize;
+
+    if g.m() > 0 {
+        // ---- Phase 1 + 2: merging with interleaved diameter control. ----
+        loop {
+            let fraction = clustering.edge_fraction(g);
+            if fraction <= merge_target || iterations >= config.max_iterations {
+                break;
+            }
+            iterations += 1;
+            meter.start_phase("merge");
+            let before = clustering.inter_cluster_edges(g);
+            clustering = merge_step(g, &clustering, fraction, config, &mut meter);
+            let after = clustering.inter_cluster_edges(g);
+            meter.end_phase();
+            if after >= before {
+                // No progress is possible (e.g. every remaining link is light).
+                break;
+            }
+
+            // Diameter control: refine clusters that grew beyond the O(1/ε) target.
+            let max_diam = clustering
+                .max_cluster_diameter(g)
+                .unwrap_or(usize::MAX);
+            if max_diam > d_target && refine_budget > eps / 4.0 {
+                let this_budget = refine_budget / 2.0;
+                refine_budget -= this_budget;
+                meter.start_phase("refine");
+                clustering = refine_step(g, &clustering, this_budget, d_target, config, &mut meter);
+                meter.end_phase();
+                refinements += 1;
+            }
+        }
+
+        // ---- Final refinement: enforce the diameter target with the remaining
+        // budget. ----
+        let max_diam = clustering.max_cluster_diameter(g).unwrap_or(usize::MAX);
+        if max_diam > d_target && refine_budget > 0.0 {
+            meter.start_phase("refine");
+            clustering = refine_step(g, &clustering, refine_budget, d_target, config, &mut meter);
+            meter.end_phase();
+            refinements += 1;
+        }
+    }
+
+    let construction_rounds = meter.rounds();
+
+    // ---- Routing setup: leaders + one metered execution of the routing algorithm. ----
+    meter.start_phase("routing");
+    let mut leaders = Vec::with_capacity(clustering.num_clusters());
+    let mut sub_meters: Vec<RoundMeter> = Vec::new();
+    let mut min_delivered: f64 = 1.0;
+    let mut strategy_name = "tree-pipeline";
+    for c in 0..clustering.num_clusters() {
+        let members = clustering.members(c).to_vec();
+        let leader_global = members
+            .iter()
+            .copied()
+            .max_by_key(|&v| (g.degree(v), v))
+            .expect("non-empty cluster");
+        leaders.push(leader_global);
+        if members.len() <= 1 {
+            continue;
+        }
+        let (sub, map) = g.induced_subgraph(&members);
+        let leader_local = map
+            .iter()
+            .position(|&v| v == leader_global)
+            .expect("leader belongs to its cluster");
+        let mut sm = RoundMeter::new();
+        let report = gather_to_leader(
+            &sub,
+            leader_local,
+            config.failure_fraction,
+            &config.routing_gather,
+            &mut sm,
+        );
+        strategy_name = report.strategy;
+        min_delivered = min_delivered.min(report.delivered_fraction);
+        sub_meters.push(sm);
+    }
+    meter.merge_parallel(sub_meters.iter());
+    meter.end_phase();
+    let routing_rounds = meter.rounds() - construction_rounds;
+
+    let epsilon_achieved = clustering.edge_fraction(g);
+    let diameter = clustering.max_cluster_diameter(g).unwrap_or(usize::MAX);
+    (
+        EdtDecomposition {
+            clustering,
+            leaders,
+            epsilon_target: eps,
+            epsilon_achieved,
+            diameter,
+            routing_rounds,
+            construction_rounds,
+            iterations,
+            refinements,
+            routing_strategy: strategy_name,
+            min_delivered_fraction: min_delivered,
+        },
+        meter,
+    )
+}
+
+/// One heavy-stars merge step (Lemma 5.3): gathers the per-cluster neighbour weights,
+/// runs heavy-stars on the cluster graph, drops light links and merges.
+fn merge_step(
+    g: &Graph,
+    clustering: &Clustering,
+    fraction: f64,
+    config: &EdtConfig,
+    meter: &mut RoundMeter,
+) -> Clustering {
+    let alpha = config.alpha.max(1) as f64;
+    // Information gathering inside every non-singleton cluster so its leader can pick
+    // the heaviest incident cluster (step 1 of heavy-stars). Runs in parallel.
+    let mut sub_meters: Vec<RoundMeter> = Vec::new();
+    for c in 0..clustering.num_clusters() {
+        let members = clustering.members(c);
+        if members.len() <= 1 {
+            continue;
+        }
+        let (sub, _) = g.induced_subgraph(members);
+        if sub.m() == 0 {
+            continue;
+        }
+        let leader = (0..sub.n()).max_by_key(|&v| sub.degree(v)).unwrap_or(0);
+        let mut sm = RoundMeter::new();
+        gather_to_leader(
+            &sub,
+            leader,
+            config.failure_fraction,
+            &config.construction_gather,
+            &mut sm,
+        );
+        sub_meters.push(sm);
+    }
+    meter.merge_parallel(sub_meters.iter());
+
+    let wg = clustering.cluster_graph(g);
+    let hs = heavy_stars(&wg);
+    let max_diam = clustering.max_cluster_diameter(g).unwrap_or(0) as u64;
+    // Cole–Vishkin + star formation run on the cluster graph: each cluster-graph round
+    // costs O(D + 1) real rounds.
+    meter.charge_rounds(hs.cluster_graph_rounds * (max_diam + 1));
+
+    // Light-link filtering (Lemma 5.3, step 3): a leaf joins its star center only if
+    // the connection is heavier than (ε'/32α)·vol(S).
+    let threshold = fraction / (32.0 * alpha);
+    let mut group: Vec<usize> = (0..clustering.num_clusters()).collect();
+    for star in &hs.stars {
+        for &leaf in &star.leaves {
+            let weight = wg.weight(leaf, star.center) as f64;
+            let vol: f64 = clustering
+                .members(leaf)
+                .iter()
+                .map(|&v| g.degree(v) as f64)
+                .sum();
+            if weight > threshold * vol {
+                group[leaf] = star.center;
+            }
+        }
+    }
+    // Steps 3–4 cost O(D + 1) rounds.
+    meter.charge_rounds(2 * (max_diam + 1));
+    clustering.merge_groups(&group)
+}
+
+/// One refinement step (Lemmas 5.4/5.5): every over-diameter cluster leader gathers
+/// the cluster topology, computes a low-diameter decomposition locally with the given
+/// edge budget, and distributes the new assignment.
+fn refine_step(
+    g: &Graph,
+    clustering: &Clustering,
+    edge_budget: f64,
+    d_target: usize,
+    config: &EdtConfig,
+    meter: &mut RoundMeter,
+) -> Clustering {
+    let mut sub_label = vec![0usize; g.n()];
+    let mut sub_meters: Vec<RoundMeter> = Vec::new();
+    for c in 0..clustering.num_clusters() {
+        let members = clustering.members(c).to_vec();
+        if members.len() <= 1 {
+            continue;
+        }
+        let mask = clustering.mask(c);
+        let diam = g.induced_diameter(&mask).unwrap_or(usize::MAX);
+        if diam <= d_target {
+            continue;
+        }
+        let (sub, map) = g.induced_subgraph(&members);
+        let leader = (0..sub.n()).max_by_key(|&v| sub.degree(v)).unwrap_or(0);
+        let mut sm = RoundMeter::new();
+        // Gather the topology to the leader, then (for free, locally) compute the
+        // refinement, then distribute one assignment word per vertex.
+        let report: GatherReport = gather_to_leader(
+            &sub,
+            leader,
+            config.failure_fraction,
+            &config.construction_gather,
+            &mut sm,
+        );
+        let _ = report;
+        let local = chop_ldd(&sub, edge_budget.max(1e-6), config.chop_depth);
+        for (i, &orig) in map.iter().enumerate() {
+            sub_label[orig] = local.cluster_of(i) + 1;
+        }
+        sub_meters.push(sm);
+    }
+    meter.merge_parallel(sub_meters.iter());
+    clustering.refine(g, &sub_label).split_into_components(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_graph::generators;
+    use mfd_routing::load_balance::LoadBalanceParams;
+    use mfd_routing::walks::WalkParams;
+
+    fn check(g: &Graph, eps: f64) -> (EdtDecomposition, RoundMeter) {
+        let (d, meter) = build_edt(g, &EdtConfig::new(eps));
+        assert!(
+            d.epsilon_achieved <= eps + 1e-9,
+            "achieved {} target {}",
+            d.epsilon_achieved,
+            eps
+        );
+        assert!(d.is_valid(g), "decomposition invalid");
+        assert_eq!(d.leaders.len(), d.clustering.num_clusters());
+        for (c, &leader) in d.leaders.iter().enumerate() {
+            assert_eq!(d.clustering.cluster_of(leader), c);
+        }
+        assert!(meter.rounds() >= d.construction_rounds + d.routing_rounds);
+        (d, meter)
+    }
+
+    #[test]
+    fn grid_decomposes_within_budget() {
+        let g = generators::grid(12, 12);
+        let (d, _) = check(&g, 0.3);
+        assert!(d.clustering.num_clusters() < g.n());
+        assert!(d.diameter <= EdtConfig::new(0.3).diameter_target().max(g.diameter().unwrap()));
+    }
+
+    #[test]
+    fn triangulated_grid_decomposes_within_budget() {
+        let g = generators::triangulated_grid(10, 10);
+        check(&g, 0.25);
+    }
+
+    #[test]
+    fn apollonian_decomposes_within_budget() {
+        let g = generators::random_apollonian(200, 5);
+        check(&g, 0.3);
+    }
+
+    #[test]
+    fn wheel_with_unbounded_degree_decomposes() {
+        let g = generators::wheel(100);
+        let (d, _) = check(&g, 0.4);
+        assert!(d.min_delivered_fraction > 0.99);
+    }
+
+    #[test]
+    fn tree_decomposes_with_tiny_epsilon() {
+        let g = generators::random_tree(200, 9);
+        let (d, _) = check(&g, 0.1);
+        assert!(d.diameter <= EdtConfig::new(0.1).diameter_target());
+    }
+
+    #[test]
+    fn smaller_epsilon_gives_larger_diameter_or_equal() {
+        let g = generators::grid(16, 16);
+        let (coarse, _) = build_edt(&g, &EdtConfig::new(0.5));
+        let (fine, _) = build_edt(&g, &EdtConfig::new(0.1));
+        assert!(fine.epsilon_achieved <= 0.1 + 1e-9);
+        assert!(coarse.epsilon_achieved <= 0.5 + 1e-9);
+        assert!(fine.diameter + 2 >= coarse.diameter);
+    }
+
+    #[test]
+    fn routing_strategies_all_work() {
+        let g = generators::triangulated_grid(8, 8);
+        for strategy in [
+            GatherStrategy::TreePipeline,
+            GatherStrategy::LoadBalance(LoadBalanceParams::default()),
+            GatherStrategy::WalkSchedule(WalkParams::default()),
+        ] {
+            let config = EdtConfig::new(0.3).with_routing_gather(strategy);
+            let (d, meter) = build_edt(&g, &config);
+            assert!(d.epsilon_achieved <= 0.3 + 1e-9);
+            assert!(meter.rounds() > 0);
+            assert!(d.routing_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_is_trivially_decomposed() {
+        let g = Graph::new(7);
+        let (d, meter) = build_edt(&g, &EdtConfig::new(0.2));
+        assert_eq!(d.clustering.num_clusters(), 7);
+        assert_eq!(d.epsilon_achieved, 0.0);
+        assert_eq!(meter.rounds(), 0);
+    }
+
+    #[test]
+    fn construction_rounds_grow_mildly_with_size() {
+        let small = generators::grid(8, 8);
+        let large = generators::grid(20, 20);
+        let (ds, _) = build_edt(&small, &EdtConfig::new(0.3));
+        let (dl, _) = build_edt(&large, &EdtConfig::new(0.3));
+        // Rounds are dominated by the per-iteration cluster work, which scales with
+        // the O(1/ε) cluster diameter, not with n; allow generous slack.
+        assert!(dl.construction_rounds < 50 * ds.construction_rounds.max(1));
+    }
+
+    use mfd_graph::Graph;
+}

@@ -1,0 +1,512 @@
+//! Generators for the graph families used throughout the paper and its experiments.
+//!
+//! The paper's algorithms apply to any network excluding a fixed minor. The
+//! generators below cover the minor-closed classes the paper names in §1 (forests,
+//! planar, outerplanar, bounded treewidth) plus non-minor-free "control" families
+//! (hypercubes, random graphs, planar graphs with random chords) used to exercise the
+//! error-detection path of the property tester and as ε-far instances.
+//!
+//! All randomized generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+
+/// Path graph on `n` vertices.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Cycle graph on `n` vertices (`n >= 3`; for smaller `n` a path is returned).
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0);
+    }
+    g
+}
+
+/// Star graph: vertex 0 connected to vertices `1..n`.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// Wheel graph: a cycle on vertices `1..n` plus a hub (vertex 0) adjacent to all of
+/// them. Planar, connected, and with unbounded maximum degree — the family used for
+/// the "unbounded Δ" rows of Table 1.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 vertices");
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+        let next = if i == n - 1 { 1 } else { i + 1 };
+        g.add_edge(i, next);
+    }
+    g
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v);
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid graph. Planar with maximum degree 4.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid with one diagonal added per cell. Planar (each diagonal is drawn
+/// inside its cell) with maximum degree ≤ 8, higher conductance than the plain grid.
+pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = grid(rows, cols);
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols.saturating_sub(1) {
+            g.add_edge(idx(r, c), idx(r + 1, c + 1));
+        }
+    }
+    g
+}
+
+/// Toroidal grid: a grid with wrap-around edges. Not planar for `rows, cols >= 3`
+/// (it embeds on the torus), used as a "genus-1" control in the property-testing
+/// experiments.
+pub fn torus_grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+            g.add_edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// Complete binary tree with the given number of vertices.
+pub fn binary_tree(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i, (i - 1) / 2);
+    }
+    g
+}
+
+/// Uniformly random labelled tree on `n` vertices via a random attachment process
+/// (each new vertex attaches to a uniformly random earlier vertex).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        g.add_edge(v, parent);
+    }
+    g
+}
+
+/// Caterpillar tree: a path of `spine` vertices with `legs` leaves hanging off each
+/// spine vertex.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for i in 1..spine {
+        g.add_edge(i - 1, i);
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            g.add_edge(s, next);
+            next += 1;
+        }
+    }
+    g
+}
+
+/// Random Apollonian network (stacked triangulation) on `n >= 3` vertices: start from
+/// a triangle and repeatedly insert a new vertex inside a uniformly random existing
+/// face, connecting it to the face's three corners. The result is a maximal planar
+/// graph; maximum degree grows with `n`, which makes this the canonical
+/// "planar, unbounded Δ" workload.
+pub fn random_apollonian(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "apollonian network needs at least 3 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    let mut faces = vec![[0usize, 1, 2]];
+    for v in 3..n {
+        let fi = rng.gen_range(0..faces.len());
+        let [a, b, c] = faces.swap_remove(fi);
+        g.add_edge(v, a);
+        g.add_edge(v, b);
+        g.add_edge(v, c);
+        faces.push([a, b, v]);
+        faces.push([b, c, v]);
+        faces.push([a, c, v]);
+    }
+    g
+}
+
+/// Fan graph: a path on `1..n` plus a hub (vertex 0) adjacent to every path vertex.
+/// Fans are maximal outerplanar, hence planar, K4-minor-free and 2-degenerate, with a
+/// single high-degree hub.
+pub fn fan(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+        if i + 1 < n {
+            g.add_edge(i, i + 1);
+        }
+    }
+    g
+}
+
+/// Random maximal outerplanar graph: a cycle on `n` vertices plus a random
+/// triangulation of its interior with non-crossing chords (built by recursive ear
+/// splitting). Outerplanar graphs are K4-minor-free and K2,3-minor-free.
+pub fn random_outerplanar(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = cycle(n);
+    // Triangulate the polygon 0..n-1 with non-crossing chords.
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi - lo < 2 {
+            continue;
+        }
+        let mid = rng.gen_range(lo + 1..hi);
+        if mid != lo + 1 || hi != lo + 2 {
+            // Chords (lo, mid) and (mid, hi) — cycle edges are already present.
+            if mid > lo + 1 {
+                g.add_edge(lo, mid);
+            }
+            if hi > mid + 1 {
+                g.add_edge(mid, hi);
+            }
+        }
+        stack.push((lo, mid));
+        stack.push((mid, hi));
+    }
+    g
+}
+
+/// Random `k`-tree on `n` vertices: start from a `(k+1)`-clique and repeatedly attach
+/// a new vertex to a random existing `k`-clique. k-trees have treewidth exactly `k`
+/// and are the canonical bounded-treewidth family.
+pub fn k_tree(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(n > k, "k-tree needs more than k vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    let base: Vec<usize> = (0..=k).collect();
+    for i in 0..=k {
+        for j in (i + 1)..=k {
+            g.add_edge(base[i], base[j]);
+        }
+    }
+    // All k-subsets of the base clique are attachable k-cliques.
+    for i in 0..=k {
+        let mut c = base.clone();
+        c.remove(i);
+        cliques.push(c);
+    }
+    if cliques.is_empty() {
+        cliques.push(Vec::new());
+    }
+    for v in (k + 1)..n {
+        let ci = rng.gen_range(0..cliques.len());
+        let clique = cliques[ci].clone();
+        for &u in &clique {
+            g.add_edge(v, u);
+        }
+        for i in 0..clique.len() {
+            let mut c = clique.clone();
+            c[i] = v;
+            cliques.push(c);
+        }
+        let mut with_v = clique;
+        if with_v.len() < k {
+            with_v.push(v);
+            cliques.push(with_v);
+        }
+    }
+    g
+}
+
+/// Random series–parallel graph on `n` vertices, built as a random partial 2-tree
+/// (a random 2-tree with a fraction `keep` of its edges retained, always keeping the
+/// graph connected). Series–parallel graphs have treewidth ≤ 2 and are K4-minor-free.
+pub fn random_series_parallel(n: usize, keep: f64, seed: u64) -> Graph {
+    let full = k_tree(n, 2, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e3779b97f4a7c15));
+    // Keep a random spanning tree plus a `keep` fraction of the remaining edges.
+    let mut g = Graph::new(n);
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    // DFS spanning tree of `full`.
+    while let Some(u) = stack.pop() {
+        for &v in full.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                g.add_edge(u, v);
+                stack.push(v);
+            }
+        }
+    }
+    for (u, v) in full.edges() {
+        if !g.has_edge(u, v) && rng.gen_bool(keep.clamp(0.0, 1.0)) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The Petersen graph: 10 vertices, 15 edges, 3-regular, non-planar, girth 5.
+/// A classic stress test for matching and planarity code.
+pub fn petersen() -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..5 {
+        edges.push((i, (i + 1) % 5)); // outer cycle
+        edges.push((i, i + 5)); // spokes
+        edges.push((i + 5, (i + 2) % 5 + 5)); // inner pentagram
+    }
+    Graph::from_edges(10, &edges)
+}
+
+/// `d`-dimensional hypercube (`2^d` vertices). Planar only for `d <= 3`; `d >= 4`
+/// yields the non-minor-free control family with good expansion.
+pub fn hypercube(d: usize) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi style random graph with exactly `m` distinct edges (or as many as fit).
+pub fn random_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let target = m.min(max_edges);
+    let mut attempts = 0usize;
+    while g.m() < target && attempts < 100 * target + 1000 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        g.add_edge(u, v);
+        attempts += 1;
+    }
+    g
+}
+
+/// Adds `chords` random extra edges to a copy of `base`. Used to manufacture graphs
+/// that are ε-far from planarity (and from other sparse minor-closed properties) for
+/// the property-testing experiments: each chord is chosen uniformly among vertex
+/// pairs, so for a planar base graph a linear number of chords destroys planarity in
+/// a robust (ε-far) way.
+pub fn with_random_chords(base: &Graph, chords: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = base.clone();
+    let n = g.n();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < chords && attempts < 100 * chords + 1000 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if g.add_edge(u, v) {
+            added += 1;
+        }
+        attempts += 1;
+    }
+    g
+}
+
+/// Adds an apex vertex adjacent to every vertex of `base`. For planar `base` the
+/// result is K6-minor-free but generally not planar; its maximum degree is `n`, so
+/// apex graphs exercise the "unbounded Δ, still minor-free" regime.
+pub fn apex(base: &Graph) -> Graph {
+    let n = base.n();
+    let mut g = Graph::new(n + 1);
+    for (u, v) in base.edges() {
+        g.add_edge(u, v);
+    }
+    for v in 0..n {
+        g.add_edge(n, v);
+    }
+    g
+}
+
+/// Disjoint union of `copies` copies of `base`.
+pub fn disjoint_copies(base: &Graph, copies: usize) -> Graph {
+    let mut g = Graph::new(0);
+    for _ in 0..copies {
+        g = g.disjoint_union(base);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognition::is_forest;
+
+    #[test]
+    fn basic_families_have_expected_sizes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(5).m(), 4);
+        assert_eq!(wheel(6).m(), 10);
+        assert_eq!(complete(5).m(), 10);
+        assert_eq!(complete_bipartite(3, 3).m(), 9);
+        assert_eq!(grid(3, 4).n(), 12);
+        assert_eq!(grid(3, 4).m(), 3 * 3 + 2 * 4);
+        assert_eq!(hypercube(4).n(), 16);
+        assert_eq!(hypercube(4).m(), 32);
+    }
+
+    #[test]
+    fn triangulated_grid_is_denser_than_grid() {
+        let g = grid(5, 5);
+        let t = triangulated_grid(5, 5);
+        assert_eq!(t.n(), g.n());
+        assert_eq!(t.m(), g.m() + 16);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn trees_are_forests() {
+        assert!(is_forest(&binary_tree(31)));
+        assert!(is_forest(&random_tree(50, 7)));
+        assert!(is_forest(&caterpillar(10, 3)));
+        assert_eq!(random_tree(50, 7).m(), 49);
+        assert!(random_tree(50, 7).is_connected());
+    }
+
+    #[test]
+    fn apollonian_is_maximal_planar_size() {
+        let g = random_apollonian(50, 3);
+        assert_eq!(g.m(), 3 * 50 - 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn outerplanar_is_triangulated_polygon() {
+        let g = random_outerplanar(12, 11);
+        // A maximal outerplanar graph has 2n - 3 edges.
+        assert_eq!(g.m(), 2 * 12 - 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn k_tree_edge_count() {
+        // An n-vertex k-tree has k(k+1)/2 + k(n-k-1) edges... equivalently
+        // C(k+1,2) + k*(n-k-1).
+        let n = 30;
+        let k = 3;
+        let g = k_tree(n, k, 5);
+        assert_eq!(g.m(), k * (k + 1) / 2 + k * (n - k - 1));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn series_parallel_is_connected_and_sparse() {
+        let g = random_series_parallel(40, 0.5, 9);
+        assert!(g.is_connected());
+        assert!(g.m() <= 2 * g.n() - 3);
+        assert!(g.m() >= g.n() - 1);
+    }
+
+    #[test]
+    fn random_gnm_respects_edge_budget() {
+        let g = random_gnm(20, 40, 123);
+        assert_eq!(g.m(), 40);
+        let dense = random_gnm(5, 100, 1);
+        assert_eq!(dense.m(), 10);
+    }
+
+    #[test]
+    fn chords_increase_edges() {
+        let base = grid(6, 6);
+        let g = with_random_chords(&base, 10, 77);
+        assert_eq!(g.m(), base.m() + 10);
+    }
+
+    #[test]
+    fn apex_adds_universal_vertex() {
+        let g = apex(&grid(3, 3));
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.degree(9), 9);
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        assert_eq!(random_tree(30, 42), random_tree(30, 42));
+        assert_eq!(random_apollonian(30, 42), random_apollonian(30, 42));
+        assert_eq!(random_gnm(30, 60, 42), random_gnm(30, 60, 42));
+        assert_ne!(random_tree(30, 1), random_tree(30, 2));
+    }
+
+    #[test]
+    fn disjoint_copies_scale() {
+        let g = disjoint_copies(&cycle(5), 3);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 15);
+        let (_, comps) = g.connected_components();
+        assert_eq!(comps, 3);
+    }
+
+    #[test]
+    fn torus_has_wraparound_degree_four() {
+        let g = torus_grid(4, 5);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 2 * 20);
+    }
+}

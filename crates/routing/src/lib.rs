@@ -1,0 +1,32 @@
+//! Information gathering inside high-conductance minor-free clusters (paper §2).
+//!
+//! The decomposition algorithms of the paper repeatedly need the following task: in a
+//! cluster `S` whose induced (or associated) subgraph is a φ-expander, every vertex
+//! `v` must deliver `deg(v)` messages of O(log n) bits to a designated high-degree
+//! vertex `v*` — and later receive answers back — in a number of rounds that does not
+//! depend on the cluster size, only on φ, Δ and the failure fraction `f`.
+//!
+//! This crate implements the paper's two gatherers plus the trivial baseline:
+//!
+//! * [`split`] — the *expander split* `G⋄` of a graph (one constant-degree expander
+//!   gadget `X_v` per vertex, external edges in one-to-one correspondence with the
+//!   original edges), which both gatherers run on. One round of `G⋄` costs one
+//!   CONGEST round of `G` because gadget-internal communication is local.
+//! * [`load_balance`] — the Ghosh et al. natural load-balancing algorithm with the
+//!   token-splitting phases of Lemma 2.2.
+//! * [`walks`] — derandomized lazy random walks (Lemmas 2.3–2.6): a vertex that knows
+//!   the cluster topology searches for a seed whose pseudo-random walks deliver a
+//!   `1 − f` fraction of all messages without congestion overflow, broadcasts the
+//!   (short) schedule, and the cluster executes it.
+//! * [`gather`] — a uniform [`gather::GatherReport`] interface over the three
+//!   strategies (BFS-tree pipeline, load balancing, walk schedule) used by the
+//!   decomposition layer to pick whichever is cheapest and to account for the T
+//!   parameter of the (ε, D, T)-decomposition.
+
+pub mod gather;
+pub mod load_balance;
+pub mod split;
+pub mod walks;
+
+pub use gather::{GatherReport, GatherStrategy};
+pub use split::ExpanderSplit;

@@ -1,0 +1,544 @@
+//! Derandomized lazy-random-walk routing schedules (paper §2.2, Lemmas 2.3–2.6).
+//!
+//! When some vertex `v'` already knows the topology of the cluster, it can *locally*
+//! compute a routing schedule: it seeds `r` lazy random walks per message on the
+//! expander split, driven by a short pseudo-random seed, and checks that (a) every
+//! message has a walk ending in the target gadget `X_{v*}` and (b) no split vertex is
+//! visited by more than `3r` walks at any time step. A message satisfying both is
+//! *good* and can be routed along its walk in `3r·τ` rounds. The leader searches
+//! seeds until a `1 − f` fraction of the messages is good, then broadcasts the seed
+//! (together with the walk parameters) and the cluster executes the schedule.
+//!
+//! The paper derandomizes with a strictly k-wise independent hash family so that the
+//! seed length — and therefore the broadcast cost — is bounded. We substitute a
+//! 64-bit mixing hash and *check* the goodness fraction explicitly during seed search
+//! (see DESIGN.md); the broadcast cost charged is the same `O(k log n)`-bit budget the
+//! paper accounts for.
+
+use mfd_congest::{primitives, RoundMeter};
+use mfd_graph::properties::splitmix64;
+use mfd_graph::Graph;
+
+use crate::split::ExpanderSplit;
+
+/// Tunable parameters for the walk-schedule gatherer.
+#[derive(Debug, Clone)]
+pub struct WalkParams {
+    /// Walks per message (`r`). `0` selects the paper's value
+    /// `≈ (|V⋄|/Δ)·ln(1/f) + log τ` (capped).
+    pub walks_per_message: usize,
+    /// Walk length (`τ`). `0` selects a spectral mixing-time estimate (capped).
+    pub steps: usize,
+    /// Congestion cap factor: a vertex may host at most `factor · r` walks per step.
+    pub congestion_factor: usize,
+    /// Maximum number of seeds tried before accepting the best one found.
+    pub max_seed_tries: usize,
+    /// Cap applied to the automatic `r`.
+    pub max_walks_per_message: usize,
+    /// Cap applied to the automatic `τ`.
+    pub max_steps: usize,
+    /// Whether to charge the reverse run notifying vertices of delivered messages.
+    pub charge_reverse: bool,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        WalkParams {
+            walks_per_message: 0,
+            steps: 0,
+            congestion_factor: 3,
+            max_seed_tries: 24,
+            max_walks_per_message: 48,
+            max_steps: 2048,
+            charge_reverse: true,
+        }
+    }
+}
+
+/// A routing schedule computed locally by a vertex that knows the cluster topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkSchedule {
+    /// Seed of the pseudo-random hash driving every walk.
+    pub seed: u64,
+    /// Walks per message (`r`).
+    pub walks_per_message: usize,
+    /// Walk length (`τ`).
+    pub steps: usize,
+    /// The designated sink `v*` (cluster-local index).
+    pub target: usize,
+    /// Size of the schedule description in 64-bit words, as charged for the broadcast
+    /// (the paper's `O((r·τ)·log n)`-bit hash description).
+    pub schedule_words: u64,
+}
+
+/// Outcome of planning a schedule (a purely local computation at the leader).
+#[derive(Debug, Clone)]
+pub struct WalkPlan {
+    /// The chosen schedule.
+    pub schedule: WalkSchedule,
+    /// Per-message goodness under the chosen seed (indexed by split port).
+    pub good: Vec<bool>,
+    /// Fraction of messages that are good.
+    pub good_fraction: f64,
+    /// Number of seeds tried.
+    pub seeds_tried: usize,
+}
+
+/// Outcome of executing a schedule in the cluster.
+#[derive(Debug, Clone)]
+pub struct WalkGatherReport {
+    /// The schedule that was executed.
+    pub schedule: WalkSchedule,
+    /// Rounds charged on the meter by this gather (broadcast + execution).
+    pub rounds: u64,
+    /// Per-message delivery flags (indexed by split port).
+    pub delivered: Vec<bool>,
+    /// Fraction of messages delivered.
+    pub delivered_fraction: f64,
+    /// Delivered message count per original cluster vertex.
+    pub per_vertex_delivered: Vec<usize>,
+    /// Total number of messages.
+    pub total_messages: usize,
+}
+
+/// Estimates the mixing time of the lazy random walk on `g` from the spectral gap of
+/// the normalized adjacency operator (power iteration). Returns a value in
+/// `[4, cap]`.
+pub fn estimate_mixing_time(g: &Graph, cap: usize) -> usize {
+    let n = g.n();
+    if n < 2 || g.m() == 0 {
+        return 4;
+    }
+    let deg: Vec<f64> = (0..n).map(|v| g.degree(v).max(1) as f64).collect();
+    let sqrt_deg: Vec<f64> = deg.iter().map(|d| d.sqrt()).collect();
+    let norm_stat: f64 = sqrt_deg.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let stationary: Vec<f64> = sqrt_deg.iter().map(|x| x / norm_stat).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|v| (splitmix64(v as u64 ^ 0x5eed) as f64 / u64::MAX as f64) - 0.5)
+        .collect();
+    let mut lambda = 0.0f64;
+    for _ in 0..80 {
+        let dot: f64 = x.iter().zip(&stationary).map(|(a, b)| a * b).sum();
+        for v in 0..n {
+            x[v] -= dot * stationary[v];
+        }
+        let mut y = vec![0.0f64; n];
+        for v in 0..n {
+            let mut acc = 0.0;
+            for &u in g.neighbors(v) {
+                acc += x[u] / (sqrt_deg[v] * sqrt_deg[u]);
+            }
+            y[v] = 0.5 * x[v] + 0.5 * acc;
+        }
+        let norm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return 4;
+        }
+        lambda = norm / x.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        for v in 0..n {
+            y[v] /= norm;
+        }
+        x = y;
+    }
+    let gap = (1.0 - lambda).max(1e-3);
+    let tau = ((g.m().max(2) as f64).ln() / gap).ceil() as usize;
+    tau.clamp(4, cap.max(4))
+}
+
+/// Plans a walk schedule for gathering `deg(v)` messages from every cluster vertex to
+/// `target`. This is a local computation at the vertex that knows the topology; it
+/// costs no rounds.
+pub fn plan_walk_schedule(
+    cluster: &Graph,
+    target: usize,
+    f: f64,
+    params: &WalkParams,
+) -> WalkPlan {
+    assert!(target < cluster.n());
+    let split = ExpanderSplit::build(cluster);
+    let tau = if params.steps > 0 {
+        params.steps
+    } else {
+        estimate_mixing_time(&split.split, params.max_steps)
+    };
+    let ports = split.num_ports();
+    let delta = cluster.degree(target).max(1);
+    let r = if params.walks_per_message > 0 {
+        params.walks_per_message
+    } else {
+        let base = (ports as f64 / delta as f64) * (1.0 / f.max(1e-6)).ln().max(1.0)
+            + (tau as f64).log2().max(1.0);
+        (base.ceil() as usize).clamp(2, params.max_walks_per_message)
+    };
+
+    let mut best: Option<(u64, Vec<bool>, f64)> = None;
+    let mut seeds_tried = 0usize;
+    for try_idx in 0..params.max_seed_tries.max(1) {
+        seeds_tried += 1;
+        let seed = splitmix64(0xc0ff_ee00 + try_idx as u64);
+        let (good, fraction) = evaluate_seed(cluster, &split, target, seed, r, tau, params.congestion_factor);
+        let better = match &best {
+            None => true,
+            Some((_, _, bf)) => fraction > *bf,
+        };
+        if better {
+            best = Some((seed, good, fraction));
+        }
+        if best.as_ref().map(|(_, _, bf)| *bf).unwrap_or(0.0) >= 1.0 - f {
+            break;
+        }
+    }
+    let (seed, good, good_fraction) = best.expect("at least one seed tried");
+    // The paper's schedule description is the k-wise independent hash function:
+    // k = (1 + log d)·2r·τ bits of independence, described in O(k·log n) bits.
+    let bits_per_word = 64u64;
+    let log_d = (split.max_degree().max(2) as f64).log2().ceil() as u64 + 1;
+    let k_bits = log_d * 2 * r as u64 * tau as u64;
+    let id_bits = (cluster.n().max(2) as f64).log2().ceil() as u64;
+    let schedule_words = (k_bits * id_bits).div_ceil(bits_per_word).max(1);
+    WalkPlan {
+        schedule: WalkSchedule {
+            seed,
+            walks_per_message: r,
+            steps: tau,
+            target,
+            schedule_words,
+        },
+        good,
+        good_fraction,
+        seeds_tried,
+    }
+}
+
+/// Simulates all walks for one seed and reports which messages are good.
+fn evaluate_seed(
+    cluster: &Graph,
+    split: &ExpanderSplit,
+    target: usize,
+    seed: u64,
+    r: usize,
+    tau: usize,
+    congestion_factor: usize,
+) -> (Vec<bool>, f64) {
+    let ports = split.num_ports();
+    let target_ports: Vec<bool> = {
+        let mut v = vec![false; ports];
+        for p in split.ports(target, cluster) {
+            v[p] = true;
+        }
+        v
+    };
+    let real_message = |p: usize| cluster.degree(split.owner[p]) > 0;
+    // visits[t][w] would be too large as a dense matrix for big clusters; use a
+    // flat Vec of counts since tau * ports is modest for cluster-sized graphs.
+    let mut visits: Vec<u32> = vec![0; (tau + 1) * ports];
+    // Trajectories are re-generated on demand from the seed, so we only store the
+    // final position and the visit counts.
+    let mut reaches_target: Vec<bool> = vec![false; ports];
+    let mut positions: Vec<usize> = Vec::new();
+    let mut walk_sources: Vec<usize> = Vec::new();
+    for p in 0..ports {
+        if !real_message(p) {
+            continue;
+        }
+        for w in 0..r {
+            positions.push(p);
+            walk_sources.push(p);
+            let walk_id = (p * r + w) as u64;
+            visits[p] += 1;
+            let mut cur = p;
+            for t in 0..tau {
+                let h = splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
+                let lazy = h & 1 == 0;
+                if !lazy {
+                    let nbrs = split.split.neighbors(cur);
+                    if !nbrs.is_empty() {
+                        let pick = (splitmix64(h ^ 0xabcd) as usize) % nbrs.len();
+                        cur = nbrs[pick];
+                    }
+                }
+                visits[(t + 1) * ports + cur] += 1;
+            }
+            if target_ports[cur] {
+                reaches_target[p] = true;
+            }
+            *positions.last_mut().unwrap() = cur;
+        }
+    }
+    // Congestion check: a message is good if all positions its walks visit are below
+    // the cap at the respective time. Re-simulate to check per-message congestion.
+    let cap = (congestion_factor * r) as u32;
+    let mut good = vec![false; ports];
+    let mut good_count = 0usize;
+    let mut total = 0usize;
+    for p in 0..ports {
+        if !real_message(p) {
+            continue;
+        }
+        total += 1;
+        if !reaches_target[p] {
+            continue;
+        }
+        let mut congested = false;
+        'walks: for w in 0..r {
+            let walk_id = (p * r + w) as u64;
+            let mut cur = p;
+            if visits[cur] > cap {
+                congested = true;
+                break;
+            }
+            for t in 0..tau {
+                let h = splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
+                let lazy = h & 1 == 0;
+                if !lazy {
+                    let nbrs = split.split.neighbors(cur);
+                    if !nbrs.is_empty() {
+                        let pick = (splitmix64(h ^ 0xabcd) as usize) % nbrs.len();
+                        cur = nbrs[pick];
+                    }
+                }
+                if visits[(t + 1) * ports + cur] > cap {
+                    congested = true;
+                    break 'walks;
+                }
+            }
+        }
+        if !congested {
+            good[p] = true;
+            good_count += 1;
+        }
+    }
+    let fraction = if total == 0 {
+        1.0
+    } else {
+        good_count as f64 / total as f64
+    };
+    (good, fraction)
+}
+
+/// Executes a planned schedule inside the cluster: broadcasts the schedule from the
+/// planning vertex along a BFS tree, then runs the walks for `3r·τ` rounds (the
+/// congestion cap guarantees this suffices for every good message), plus the reverse
+/// notification run if requested. Rounds are charged on `meter`.
+pub fn execute_walk_gather(
+    cluster: &Graph,
+    plan: &WalkPlan,
+    params: &WalkParams,
+    meter: &mut RoundMeter,
+) -> WalkGatherReport {
+    let schedule = plan.schedule.clone();
+    let rounds_before = meter.rounds();
+    // Broadcast the schedule description over a BFS tree rooted at the target.
+    if cluster.n() > 1 && cluster.m() > 0 {
+        let tree = primitives::build_bfs_tree(cluster, None, schedule.target, meter);
+        primitives::broadcast_words(cluster, &tree, schedule.schedule_words, meter);
+    }
+    // Execute the walks: 3r rounds per step (the congestion cap), exactly as in the
+    // paper's analysis.
+    let exec_rounds =
+        (params.congestion_factor as u64) * (schedule.walks_per_message as u64) * (schedule.steps as u64);
+    meter.charge_rounds(exec_rounds);
+    let split = ExpanderSplit::build(cluster);
+    meter.charge_messages(
+        (plan.good.iter().filter(|&&g| g).count() as u64) * schedule.steps as u64,
+    );
+    if params.charge_reverse {
+        meter.charge_rounds(exec_rounds);
+    }
+
+    let mut per_vertex_delivered = vec![0usize; cluster.n()];
+    let mut delivered_count = 0usize;
+    let total_messages = 2 * cluster.m();
+    let mut delivered = plan.good.clone();
+    // The target's own messages never leave the target; count them delivered.
+    for p in split.ports(schedule.target, cluster) {
+        if cluster.degree(schedule.target) > 0 && !delivered[p] {
+            delivered[p] = true;
+        }
+    }
+    for (p, &d) in delivered.iter().enumerate() {
+        if d && cluster.degree(split.owner[p]) > 0 {
+            per_vertex_delivered[split.owner[p]] += 1;
+            delivered_count += 1;
+        }
+    }
+    WalkGatherReport {
+        schedule,
+        rounds: meter.rounds() - rounds_before,
+        delivered,
+        delivered_fraction: if total_messages == 0 {
+            1.0
+        } else {
+            delivered_count as f64 / total_messages as f64
+        },
+        per_vertex_delivered,
+        total_messages,
+    }
+}
+
+/// Plans a single schedule that works for several disjoint clusters at once
+/// (Lemma 2.6): the same seed is checked against every cluster and the overall good
+/// fraction is the fraction over all messages of all clusters.
+pub fn plan_common_schedule(
+    clusters: &[(Graph, usize)],
+    f: f64,
+    params: &WalkParams,
+) -> Vec<WalkPlan> {
+    if clusters.is_empty() {
+        return Vec::new();
+    }
+    let splits: Vec<ExpanderSplit> = clusters.iter().map(|(g, _)| ExpanderSplit::build(g)).collect();
+    let tau = if params.steps > 0 {
+        params.steps
+    } else {
+        splits
+            .iter()
+            .map(|s| estimate_mixing_time(&s.split, params.max_steps))
+            .max()
+            .unwrap_or(4)
+    };
+    let r = if params.walks_per_message > 0 {
+        params.walks_per_message
+    } else {
+        clusters
+            .iter()
+            .zip(&splits)
+            .map(|((g, target), s)| {
+                let delta = g.degree(*target).max(1);
+                let base = (s.num_ports() as f64 / delta as f64) * (1.0 / f.max(1e-6)).ln().max(1.0)
+                    + (tau as f64).log2().max(1.0);
+                (base.ceil() as usize).clamp(2, params.max_walks_per_message)
+            })
+            .max()
+            .unwrap_or(2)
+    };
+    let mut best: Option<(u64, Vec<(Vec<bool>, f64)>, f64)> = None;
+    for try_idx in 0..params.max_seed_tries.max(1) {
+        let seed = splitmix64(0xbeef_0000 + try_idx as u64);
+        let mut per_cluster = Vec::with_capacity(clusters.len());
+        let mut good_total = 0usize;
+        let mut msg_total = 0usize;
+        for ((g, target), s) in clusters.iter().zip(&splits) {
+            let (good, _) = evaluate_seed(g, s, *target, seed, r, tau, params.congestion_factor);
+            let goods = good.iter().filter(|&&b| b).count();
+            good_total += goods;
+            msg_total += 2 * g.m();
+            per_cluster.push((good, 0.0));
+        }
+        let fraction = if msg_total == 0 {
+            1.0
+        } else {
+            good_total as f64 / msg_total as f64
+        };
+        let better = best.as_ref().map_or(true, |(_, _, bf)| fraction > *bf);
+        if better {
+            best = Some((seed, per_cluster, fraction));
+        }
+        if fraction >= 1.0 - f {
+            break;
+        }
+    }
+    let (seed, per_cluster, _) = best.expect("at least one seed tried");
+    clusters
+        .iter()
+        .zip(&splits)
+        .zip(per_cluster)
+        .map(|(((g, target), s), (good, _))| {
+            let goods = good.iter().filter(|&&b| b).count();
+            let total = 2 * g.m();
+            let log_d = (s.max_degree().max(2) as f64).log2().ceil() as u64 + 1;
+            let k_bits = log_d * 2 * r as u64 * tau as u64;
+            let id_bits = (g.n().max(2) as f64).log2().ceil() as u64;
+            WalkPlan {
+                schedule: WalkSchedule {
+                    seed,
+                    walks_per_message: r,
+                    steps: tau,
+                    target: *target,
+                    schedule_words: (k_bits * id_bits).div_ceil(64).max(1),
+                },
+                good_fraction: if total == 0 {
+                    1.0
+                } else {
+                    goods as f64 / total as f64
+                },
+                good,
+                seeds_tried: 1,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_graph::generators;
+
+    #[test]
+    fn mixing_time_orders_families_sensibly() {
+        let expander = estimate_mixing_time(&generators::hypercube(6), 100_000);
+        let path = estimate_mixing_time(&generators::path(64), 100_000);
+        assert!(expander < path, "expander {expander} vs path {path}");
+    }
+
+    #[test]
+    fn schedule_planning_reaches_high_goodness_on_expanders() {
+        let g = generators::complete(10);
+        let plan = plan_walk_schedule(&g, 0, 0.1, &WalkParams::default());
+        assert!(plan.good_fraction >= 0.9, "fraction {}", plan.good_fraction);
+        assert!(plan.schedule.walks_per_message >= 2);
+        assert!(plan.schedule.steps >= 4);
+    }
+
+    #[test]
+    fn executing_a_schedule_charges_broadcast_and_walk_rounds() {
+        let g = generators::hypercube(4);
+        let params = WalkParams::default();
+        let plan = plan_walk_schedule(&g, 0, 0.25, &params);
+        let mut meter = RoundMeter::new();
+        let report = execute_walk_gather(&g, &plan, &params, &mut meter);
+        assert_eq!(report.rounds, meter.rounds());
+        let exec = (params.congestion_factor
+            * plan.schedule.walks_per_message
+            * plan.schedule.steps) as u64;
+        assert!(report.rounds >= 2 * exec);
+        assert!(report.delivered_fraction >= 0.7, "fraction {}", report.delivered_fraction);
+    }
+
+    #[test]
+    fn per_vertex_delivery_counts_are_consistent() {
+        let g = generators::complete(8);
+        let params = WalkParams::default();
+        let plan = plan_walk_schedule(&g, 0, 0.05, &params);
+        let mut meter = RoundMeter::new();
+        let report = execute_walk_gather(&g, &plan, &params, &mut meter);
+        let sum: usize = report.per_vertex_delivered.iter().sum();
+        let count = report.delivered.iter().filter(|&&d| d).count();
+        assert_eq!(sum, count);
+        assert!(report.per_vertex_delivered[0] >= g.degree(0));
+    }
+
+    #[test]
+    fn common_schedule_covers_multiple_clusters() {
+        let clusters = vec![
+            (generators::complete(6), 0usize),
+            (generators::hypercube(3), 0usize),
+            (generators::wheel(8), 0usize),
+        ];
+        let plans = plan_common_schedule(&clusters, 0.2, &WalkParams::default());
+        assert_eq!(plans.len(), 3);
+        let seed = plans[0].schedule.seed;
+        assert!(plans.iter().all(|p| p.schedule.seed == seed));
+        let avg: f64 = plans.iter().map(|p| p.good_fraction).sum::<f64>() / 3.0;
+        assert!(avg >= 0.6, "avg goodness {avg}");
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let g = generators::wheel(12);
+        let a = plan_walk_schedule(&g, 0, 0.1, &WalkParams::default());
+        let b = plan_walk_schedule(&g, 0, 0.1, &WalkParams::default());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.good, b.good);
+    }
+}

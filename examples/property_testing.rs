@@ -1,0 +1,65 @@
+//! Distributed property testing of planarity and other additive minor-closed
+//! properties (paper Corollary 6.6).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example property_testing -p mfd-apps
+//! ```
+
+use mfd_apps::property_testing::{test_property, Forests, Planarity, TreewidthAtMostTwo};
+use mfd_graph::generators;
+
+fn main() {
+    let epsilon = 0.2;
+
+    println!("=== planarity tester, ε = {epsilon} ===");
+    let cases = vec![
+        ("triangulated grid 20x20 (planar)", generators::triangulated_grid(20, 20)),
+        ("random Apollonian n=500 (planar)", generators::random_apollonian(500, 3)),
+        (
+            "Apollonian + 30% random chords (ε-far)",
+            {
+                let base = generators::random_apollonian(300, 3);
+                let chords = base.m() * 3 / 10;
+                generators::with_random_chords(&base, chords, 9)
+            },
+        ),
+        ("complete graph K40 (very far)", generators::complete(40)),
+        ("4x4x... torus grid (genus 1)", generators::torus_grid(12, 12)),
+    ];
+    for (name, g) in cases {
+        let outcome = test_property(&g, &Planarity, epsilon);
+        println!(
+            "  {:45} -> {}  (rounds {}, clusters {}, reason {:?})",
+            name,
+            if outcome.accepted { "ACCEPT" } else { "REJECT" },
+            outcome.rounds,
+            outcome.clusters,
+            outcome.reason
+        );
+    }
+
+    println!("\n=== forest tester, ε = {epsilon} ===");
+    let forest = generators::random_tree(400, 5).disjoint_union(&generators::random_tree(200, 6));
+    let not_forest = generators::triangulated_grid(12, 12);
+    println!(
+        "  forest of two trees                      -> {}",
+        if test_property(&forest, &Forests, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+    );
+    println!(
+        "  triangulated grid                        -> {}",
+        if test_property(&not_forest, &Forests, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+    );
+
+    println!("\n=== treewidth ≤ 2 tester, ε = {epsilon} ===");
+    let sp = generators::random_series_parallel(300, 0.5, 8);
+    let dense = generators::k_tree(200, 4, 3);
+    println!(
+        "  random series-parallel graph             -> {}",
+        if test_property(&sp, &TreewidthAtMostTwo, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+    );
+    println!(
+        "  random 4-tree                            -> {}",
+        if test_property(&dense, &TreewidthAtMostTwo, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+    );
+}

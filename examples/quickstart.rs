@@ -1,0 +1,44 @@
+//! Quickstart: build an (ε, D, T)-decomposition of a planar network and inspect it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart -p mfd-apps
+//! ```
+
+use mfd_core::edt::{build_edt, EdtConfig};
+use mfd_graph::generators;
+
+fn main() {
+    // A triangulated 32×32 grid: a planar (hence K5-minor-free) network with
+    // 1024 vertices and maximum degree 8.
+    let network = generators::triangulated_grid(32, 32);
+    println!(
+        "network: n = {}, m = {}, max degree = {}",
+        network.n(),
+        network.m(),
+        network.max_degree()
+    );
+
+    for epsilon in [0.5, 0.25, 0.125] {
+        let config = EdtConfig::new(epsilon);
+        let (decomposition, meter) = build_edt(&network, &config);
+        println!("\n=== (ε = {epsilon}, D, T)-decomposition ===");
+        println!(
+            "  inter-cluster edge fraction : {:.4} (target {epsilon})",
+            decomposition.epsilon_achieved
+        );
+        println!(
+            "  clusters                    : {}",
+            decomposition.clustering.num_clusters()
+        );
+        println!("  max cluster diameter D      : {}", decomposition.diameter);
+        println!("  routing time T (rounds)     : {}", decomposition.routing_rounds);
+        println!("  construction rounds         : {}", decomposition.construction_rounds);
+        println!("  merge iterations            : {}", decomposition.iterations);
+        println!("  refinement passes           : {}", decomposition.refinements);
+        println!("  routing strategy            : {}", decomposition.routing_strategy);
+        println!("  total rounds charged        : {}", meter.rounds());
+        println!("  total messages charged      : {}", meter.messages());
+        assert!(decomposition.is_valid(&network));
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration tests for the applications of §6: approximation quality
+//! and validity of MIS / matching / vertex cover / max cut, and correctness of the
+//! property tester, on the paper's graph families.
+
+use mfd_apps::matching::{approximate_maximum_matching, MatchingConfig};
+use mfd_apps::max_cut::{approximate_max_cut, MaxCutConfig};
+use mfd_apps::mis::{approximate_mis, MisConfig};
+use mfd_apps::property_testing::{test_property, Forests, Planarity, RejectReason};
+use mfd_apps::solvers;
+use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
+use mfd_graph::generators;
+
+#[test]
+fn all_applications_produce_valid_outputs_on_one_planar_network() {
+    let g = generators::random_apollonian(180, 13);
+    let eps = 0.3;
+
+    let mis = approximate_mis(&g, &MisConfig::new(eps));
+    assert!(solvers::is_independent_set(&g, &mis.independent_set));
+
+    let matching = approximate_maximum_matching(&g, &MatchingConfig::new(eps));
+    assert!(solvers::is_matching(&g, &matching.matching));
+
+    let cover = approximate_vertex_cover(&g, &VertexCoverConfig::new(eps));
+    assert!(solvers::is_vertex_cover(&g, &cover.cover));
+
+    let cut = approximate_max_cut(&g, &MaxCutConfig::new(eps));
+    assert!(cut.cut_edges * 2 >= g.m());
+
+    // Complementarity sanity: MIS + VC roughly partition the vertex set.
+    assert!(mis.independent_set.len() + cover.cover.len() >= g.n() * 9 / 10);
+}
+
+#[test]
+fn mis_quality_against_exact_optimum_on_a_small_planar_graph() {
+    let g = generators::triangulated_grid(6, 6);
+    let exact = solvers::maximum_independent_set(&g, 2_000_000).vertices.len();
+    let approx = approximate_mis(&g, &MisConfig::new(0.2)).independent_set.len();
+    assert!(
+        approx as f64 >= (1.0 - 0.3) * exact as f64,
+        "approx {approx} exact {exact}"
+    );
+}
+
+#[test]
+fn matching_quality_against_blossom_optimum() {
+    let g = generators::triangulated_grid(9, 9);
+    let opt = solvers::matching_edges(&solvers::maximum_matching(&g)).len();
+    let approx = approximate_maximum_matching(&g, &MatchingConfig::new(0.2)).matching.len();
+    assert!(
+        approx as f64 >= (1.0 - 0.4) * opt as f64,
+        "approx {approx} opt {opt}"
+    );
+}
+
+#[test]
+fn max_cut_on_bipartite_planar_graphs_is_nearly_perfect() {
+    let g = generators::grid(12, 12);
+    let r = approximate_max_cut(&g, &MaxCutConfig::new(0.2));
+    assert!(r.cut_edges as f64 >= 0.8 * g.m() as f64);
+}
+
+#[test]
+fn property_tester_accepts_planar_and_rejects_far_instances() {
+    let planar = generators::random_apollonian(250, 2);
+    assert!(test_property(&planar, &Planarity, 0.2).accepted);
+
+    let base = generators::random_apollonian(150, 6);
+    let far = generators::with_random_chords(&base, base.m() / 2, 3);
+    assert!(!test_property(&far, &Planarity, 0.2).accepted);
+
+    let dense = generators::complete(40);
+    let outcome = test_property(&dense, &Planarity, 0.2);
+    assert!(!outcome.accepted);
+    assert_eq!(outcome.reason, Some(RejectReason::ArboricityCertificateFailed));
+}
+
+#[test]
+fn property_tester_on_disjoint_unions_uses_additivity() {
+    // Additivity: a disjoint union of planar graphs is planar and must be accepted.
+    let g = generators::triangulated_grid(8, 8)
+        .disjoint_union(&generators::random_apollonian(80, 4))
+        .disjoint_union(&generators::random_tree(60, 5));
+    assert!(test_property(&g, &Planarity, 0.25).accepted);
+    // A forest union is accepted by the forest tester, adding one dense component
+    // flips it.
+    let forest = generators::random_tree(100, 1).disjoint_union(&generators::random_tree(80, 2));
+    assert!(test_property(&forest, &Forests, 0.25).accepted);
+    let spoiled = forest.disjoint_union(&generators::triangulated_grid(10, 10));
+    assert!(!test_property(&spoiled, &Forests, 0.25).accepted);
+}
+
+#[test]
+fn approximation_rounds_do_not_explode_with_size() {
+    let small = generators::triangulated_grid(8, 8);
+    let large = generators::triangulated_grid(16, 16);
+    let rs = approximate_max_cut(&small, &MaxCutConfig::new(0.3)).rounds.max(1);
+    let rl = approximate_max_cut(&large, &MaxCutConfig::new(0.3)).rounds;
+    let n_ratio = (large.n() as f64) / (small.n() as f64);
+    assert!(
+        (rl as f64) < n_ratio * (rs as f64) * 2.0,
+        "rounds grew too fast: {rs} -> {rl}"
+    );
+}
