@@ -133,7 +133,11 @@ mod tests {
         assert!(meter.rounds() > 0);
         // In expectation the cut fraction is about beta; allow generous slack for a
         // single sample.
-        assert!(c.edge_fraction(&g) <= 3.0 * beta, "fraction {}", c.edge_fraction(&g));
+        assert!(
+            c.edge_fraction(&g) <= 3.0 * beta,
+            "fraction {}",
+            c.edge_fraction(&g)
+        );
     }
 
     #[test]

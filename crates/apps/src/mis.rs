@@ -117,7 +117,8 @@ pub fn approximate_mis(g: &Graph, config: &MisConfig) -> MisResult {
             continue;
         }
         let (sub, map) = working.induced_subgraph(members);
-        let MisSolution { vertices, exact } = solvers::maximum_independent_set(&sub, config.solver_budget);
+        let MisSolution { vertices, exact } =
+            solvers::maximum_independent_set(&sub, config.solver_budget);
         all_exact &= exact;
         for &local in &vertices {
             independent[map[local]] = true;

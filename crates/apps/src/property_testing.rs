@@ -230,7 +230,11 @@ mod tests {
             generators::random_tree(100, 1),
         ] {
             let outcome = test_property(&g, &Planarity, 0.25);
-            assert!(outcome.accepted, "planar graph rejected: {:?}", outcome.reason);
+            assert!(
+                outcome.accepted,
+                "planar graph rejected: {:?}",
+                outcome.reason
+            );
         }
     }
 
@@ -256,7 +260,8 @@ mod tests {
 
     #[test]
     fn forests_tester_accepts_forests_and_rejects_dense_graphs() {
-        let forest = generators::random_tree(120, 3).disjoint_union(&generators::random_tree(60, 4));
+        let forest =
+            generators::random_tree(120, 3).disjoint_union(&generators::random_tree(60, 4));
         assert!(test_property(&forest, &Forests, 0.2).accepted);
         // A triangulated grid has ~3n edges; a forest has < n: it is far from being a
         // forest.

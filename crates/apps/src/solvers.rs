@@ -370,8 +370,16 @@ pub fn maximum_cut(g: &Graph) -> CutSolution {
         for bits in 0..(1u64 << (n - 1)) {
             let mut cut = 0usize;
             for (u, v) in g.edges() {
-                let su = if u == 0 { false } else { bits >> (u - 1) & 1 == 1 };
-                let sv = if v == 0 { false } else { bits >> (v - 1) & 1 == 1 };
+                let su = if u == 0 {
+                    false
+                } else {
+                    bits >> (u - 1) & 1 == 1
+                };
+                let sv = if v == 0 {
+                    false
+                } else {
+                    bits >> (v - 1) & 1 == 1
+                };
                 if su != sv {
                     cut += 1;
                 }
@@ -382,7 +390,13 @@ pub fn maximum_cut(g: &Graph) -> CutSolution {
             }
         }
         let side: Vec<bool> = (0..n)
-            .map(|v| if v == 0 { false } else { best_mask >> (v - 1) & 1 == 1 })
+            .map(|v| {
+                if v == 0 {
+                    false
+                } else {
+                    best_mask >> (v - 1) & 1 == 1
+                }
+            })
             .collect();
         return CutSolution {
             side,
@@ -461,16 +475,16 @@ mod tests {
 
     /// Brute-force maximum matching size (small graphs).
     fn brute_force_matching(g: &Graph) -> usize {
-        fn rec(g: &Graph, edges: &[(usize, usize)], used: &mut Vec<bool>, idx: usize) -> usize {
+        fn rec(edges: &[(usize, usize)], used: &mut Vec<bool>, idx: usize) -> usize {
             if idx == edges.len() {
                 return 0;
             }
-            let mut best = rec(g, edges, used, idx + 1);
+            let mut best = rec(edges, used, idx + 1);
             let (u, v) = edges[idx];
             if !used[u] && !used[v] {
                 used[u] = true;
                 used[v] = true;
-                best = best.max(1 + rec(g, edges, used, idx + 1));
+                best = best.max(1 + rec(edges, used, idx + 1));
                 used[u] = false;
                 used[v] = false;
             }
@@ -478,7 +492,7 @@ mod tests {
         }
         let edges: Vec<_> = g.edges().collect();
         let mut used = vec![false; g.n()];
-        rec(g, &edges, &mut used, 0)
+        rec(&edges, &mut used, 0)
     }
 
     #[test]

@@ -66,9 +66,9 @@ pub fn low_degree_sparsifier(g: &Graph, threshold: usize) -> VertexSparsifier {
 pub fn matching_sparsifier(g: &Graph, threshold: usize) -> Graph {
     let n = g.n();
     let mut marked: Vec<std::collections::HashSet<usize>> = vec![Default::default(); n];
-    for v in 0..n {
+    for (v, marks) in marked.iter_mut().enumerate() {
         for &u in g.neighbors(v).iter().take(threshold) {
-            marked[v].insert(u);
+            marks.insert(u);
         }
     }
     let mut sparse = Graph::new(n);
@@ -123,9 +123,10 @@ mod tests {
         let full = solvers::maximum_independent_set(&g, solvers::DEFAULT_MIS_NODE_BUDGET)
             .vertices
             .len();
-        let reduced = solvers::maximum_independent_set(&s.low_subgraph, solvers::DEFAULT_MIS_NODE_BUDGET)
-            .vertices
-            .len();
+        let reduced =
+            solvers::maximum_independent_set(&s.low_subgraph, solvers::DEFAULT_MIS_NODE_BUDGET)
+                .vertices
+                .len();
         assert!(
             reduced as f64 >= (1.0 - 2.0 * eps) * full as f64,
             "reduced {reduced} vs full {full}"
@@ -139,7 +140,8 @@ mod tests {
         let s = low_degree_sparsifier(&g, d);
         // high vertices + a cover of the low part always form a cover of G.
         let low_cover: Vec<usize> = {
-            let mis = solvers::maximum_independent_set(&s.low_subgraph, solvers::DEFAULT_MIS_NODE_BUDGET);
+            let mis =
+                solvers::maximum_independent_set(&s.low_subgraph, solvers::DEFAULT_MIS_NODE_BUDGET);
             (0..g.n())
                 .filter(|&v| !mis.vertices.contains(&v) && s.low_subgraph.degree(v) > 0)
                 .collect()

@@ -45,7 +45,10 @@ fn print_applications_table() {
             "min vertex cover".into(),
             f3(eps),
             vc.cover.len().to_string(),
-            format!("2-approx {}", mfd_apps::baselines::two_approx_vertex_cover(&g).len()),
+            format!(
+                "2-approx {}",
+                mfd_apps::baselines::two_approx_vertex_cover(&g).len()
+            ),
             vc.rounds.to_string(),
             vc.clusters.to_string(),
         ]);

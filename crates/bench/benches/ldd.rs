@@ -58,7 +58,9 @@ fn bench_ldd(c: &mut Criterion) {
     let g = generators::triangulated_grid(24, 24);
     let mut group = c.benchmark_group("ldd");
     group.sample_size(10);
-    group.bench_function("chop_ldd_trigrid24_eps0.2", |b| b.iter(|| chop_ldd(&g, 0.2, 3)));
+    group.bench_function("chop_ldd_trigrid24_eps0.2", |b| {
+        b.iter(|| chop_ldd(&g, 0.2, 3))
+    });
     group.bench_function("region_growing_trigrid24_eps0.2", |b| {
         b.iter(|| region_growing_ldd(&g, 0.2))
     });

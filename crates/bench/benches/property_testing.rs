@@ -11,12 +11,23 @@ use mfd_graph::generators;
 fn print_property_testing_table() {
     let mut table = Table::new(
         "F8 — property testing of planarity (ε = 0.2): verdict and rounds vs n",
-        &["instance", "n", "m", "verdict", "rounds", "error-detection rounds", "clusters"],
+        &[
+            "instance",
+            "n",
+            "m",
+            "verdict",
+            "rounds",
+            "error-detection rounds",
+            "clusters",
+        ],
     );
     let eps = 0.2;
     let mut cases: Vec<(String, mfd_graph::Graph)> = Vec::new();
     for s in [12usize, 20, 28] {
-        cases.push((format!("planar tri-grid {s}x{s}"), generators::triangulated_grid(s, s)));
+        cases.push((
+            format!("planar tri-grid {s}x{s}"),
+            generators::triangulated_grid(s, s),
+        ));
     }
     for n in [200usize, 500] {
         let base = generators::random_apollonian(n, 3);
@@ -33,7 +44,11 @@ fn print_property_testing_table() {
             name,
             g.n().to_string(),
             g.m().to_string(),
-            if outcome.accepted { "ACCEPT".into() } else { "REJECT".to_string() },
+            if outcome.accepted {
+                "ACCEPT".into()
+            } else {
+                "REJECT".to_string()
+            },
             outcome.rounds.to_string(),
             outcome.error_detection_rounds.to_string(),
             outcome.clusters.to_string(),

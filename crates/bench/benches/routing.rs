@@ -17,15 +17,29 @@ fn print_routing_table() {
     );
     let clusters = vec![
         ("hypercube Q6 (expander)", generators::hypercube(6), 0usize),
-        ("wheel-128 (planar expander)", generators::wheel(128), 0usize),
-        ("tri-grid-10x10 (low φ)", generators::triangulated_grid(10, 10), 0usize),
+        (
+            "wheel-128 (planar expander)",
+            generators::wheel(128),
+            0usize,
+        ),
+        (
+            "tri-grid-10x10 (low φ)",
+            generators::triangulated_grid(10, 10),
+            0usize,
+        ),
     ];
     for (name, g, _) in &clusters {
         let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
         let strategies: Vec<(&str, GatherStrategy)> = vec![
             ("tree pipeline", GatherStrategy::TreePipeline),
-            ("load balance", GatherStrategy::LoadBalance(LoadBalanceParams::default())),
-            ("walk schedule", GatherStrategy::WalkSchedule(WalkParams::default())),
+            (
+                "load balance",
+                GatherStrategy::LoadBalance(LoadBalanceParams::default()),
+            ),
+            (
+                "walk schedule",
+                GatherStrategy::WalkSchedule(WalkParams::default()),
+            ),
         ];
         for (label, strategy) in strategies {
             let mut meter = RoundMeter::new();

@@ -12,21 +12,54 @@ fn print_table1() {
     let mut table = Table::new(
         "Table 1 — (ε, D, T)-decomposition: construction rounds and routing rounds T",
         &[
-            "regime", "graph", "n", "m", "Δ", "ε", "construction rounds", "routing T", "D", "ε achieved",
+            "regime",
+            "graph",
+            "n",
+            "m",
+            "Δ",
+            "ε",
+            "construction rounds",
+            "routing T",
+            "D",
+            "ε achieved",
         ],
     );
     // Regime rows: (constant Δ, constant ε), (constant Δ, varying ε),
     // (unbounded Δ, constant ε), (unbounded Δ, varying ε).
     let bounded = [
-        ("Δ=O(1), ε const", generators::triangulated_grid(24, 24), 0.25),
-        ("Δ=O(1), ε const", generators::triangulated_grid(40, 40), 0.25),
-        ("Δ=O(1), ε small", generators::triangulated_grid(24, 24), 0.1),
-        ("Δ=O(1), ε small", generators::triangulated_grid(40, 40), 0.1),
+        (
+            "Δ=O(1), ε const",
+            generators::triangulated_grid(24, 24),
+            0.25,
+        ),
+        (
+            "Δ=O(1), ε const",
+            generators::triangulated_grid(40, 40),
+            0.25,
+        ),
+        (
+            "Δ=O(1), ε small",
+            generators::triangulated_grid(24, 24),
+            0.1,
+        ),
+        (
+            "Δ=O(1), ε small",
+            generators::triangulated_grid(40, 40),
+            0.1,
+        ),
     ];
     let unbounded = [
-        ("Δ unbounded, ε const", generators::random_apollonian(600, 0xA11), 0.25),
+        (
+            "Δ unbounded, ε const",
+            generators::random_apollonian(600, 0xA11),
+            0.25,
+        ),
         ("Δ unbounded, ε const", generators::wheel(800), 0.25),
-        ("Δ unbounded, ε small", generators::random_apollonian(600, 0xA11), 0.1),
+        (
+            "Δ unbounded, ε small",
+            generators::random_apollonian(600, 0xA11),
+            0.1,
+        ),
         ("Δ unbounded, ε small", generators::wheel(800), 0.1),
     ];
     for (regime, g, eps) in bounded.into_iter().chain(unbounded) {

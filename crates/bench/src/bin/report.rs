@@ -17,7 +17,9 @@ use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
 use mfd_bench::{f3, Table};
 use mfd_congest::RoundMeter;
 use mfd_core::edt::{build_edt, EdtConfig};
-use mfd_core::expander::{min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams};
+use mfd_core::expander::{
+    min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams,
+};
 use mfd_core::ldd::{chop_ldd, measure_ldd, region_growing_ldd};
 use mfd_core::overlap::{overlap_expander_decomposition, OverlapParams};
 use mfd_graph::generators;
@@ -68,15 +70,55 @@ fn main() {
 fn table1() {
     let mut table = Table::new(
         "T1 / Table 1 — construction rounds and routing time T of the (ε, D, T)-decomposition",
-        &["regime", "graph", "n", "Δ", "ε", "construction", "routing T", "D", "ε achieved"],
+        &[
+            "regime",
+            "graph",
+            "n",
+            "Δ",
+            "ε",
+            "construction",
+            "routing T",
+            "D",
+            "ε achieved",
+        ],
     );
     let cases: Vec<(&str, &str, mfd_graph::Graph, f64)> = vec![
-        ("Δ const, ε const", "tri-grid 32x32", generators::triangulated_grid(32, 32), 0.25),
-        ("Δ const, ε small", "tri-grid 32x32", generators::triangulated_grid(32, 32), 0.08),
-        ("Δ unbounded, ε const", "apollonian 1000", generators::random_apollonian(1000, 0xA11), 0.25),
-        ("Δ unbounded, ε small", "apollonian 1000", generators::random_apollonian(1000, 0xA11), 0.08),
-        ("Δ unbounded, ε const", "wheel 1000", generators::wheel(1000), 0.25),
-        ("Δ unbounded, ε small", "wheel 1000", generators::wheel(1000), 0.08),
+        (
+            "Δ const, ε const",
+            "tri-grid 32x32",
+            generators::triangulated_grid(32, 32),
+            0.25,
+        ),
+        (
+            "Δ const, ε small",
+            "tri-grid 32x32",
+            generators::triangulated_grid(32, 32),
+            0.08,
+        ),
+        (
+            "Δ unbounded, ε const",
+            "apollonian 1000",
+            generators::random_apollonian(1000, 0xA11),
+            0.25,
+        ),
+        (
+            "Δ unbounded, ε small",
+            "apollonian 1000",
+            generators::random_apollonian(1000, 0xA11),
+            0.08,
+        ),
+        (
+            "Δ unbounded, ε const",
+            "wheel 1000",
+            generators::wheel(1000),
+            0.25,
+        ),
+        (
+            "Δ unbounded, ε small",
+            "wheel 1000",
+            generators::wheel(1000),
+            0.08,
+        ),
     ];
     for (regime, name, g, eps) in cases {
         let (d, _) = build_edt(&g, &EdtConfig::new(eps));
@@ -99,7 +141,14 @@ fn table1() {
 fn scaling_n() {
     let mut table = Table::new(
         "F1 — Theorem 1.1 scaling with n (ε = 0.25, bounded-degree planar family)",
-        &["n", "m", "construction rounds", "routing T", "D", "clusters"],
+        &[
+            "n",
+            "m",
+            "construction rounds",
+            "routing T",
+            "D",
+            "clusters",
+        ],
     );
     for s in [12usize, 16, 24, 32, 40] {
         let g = generators::triangulated_grid(s, s);
@@ -120,7 +169,14 @@ fn scaling_n() {
 fn scaling_eps() {
     let mut table = Table::new(
         "F2 — Theorem 1.1 scaling with ε (tri-grid 28x28)",
-        &["ε", "construction rounds", "routing T", "D", "ε achieved", "clusters"],
+        &[
+            "ε",
+            "construction rounds",
+            "routing T",
+            "D",
+            "ε achieved",
+            "clusters",
+        ],
     );
     let g = generators::triangulated_grid(28, 28);
     for eps in [0.5, 0.35, 0.25, 0.15, 0.1, 0.05] {
@@ -141,7 +197,14 @@ fn scaling_eps() {
 fn ldd_report() {
     let mut table = Table::new(
         "F3 / Corollary 6.1 — LDD quality: deterministic chop vs region growing vs randomized MPX",
-        &["graph", "ε", "method", "edge fraction", "max diameter", "clusters"],
+        &[
+            "graph",
+            "ε",
+            "method",
+            "edge fraction",
+            "max diameter",
+            "clusters",
+        ],
     );
     let graphs = vec![
         ("tri-grid-32x32", generators::triangulated_grid(32, 32)),
@@ -202,7 +265,15 @@ fn expander_report() {
 fn overlap_report() {
     let mut table = Table::new(
         "F10 / §4 — (ε, φ, c) overlap expander decomposition",
-        &["graph", "target ε", "achieved ε", "overlap c", "iterations", "clusters", "rounds"],
+        &[
+            "graph",
+            "target ε",
+            "achieved ε",
+            "overlap c",
+            "iterations",
+            "clusters",
+            "rounds",
+        ],
     );
     for (name, g) in [
         ("tri-grid-16x16", generators::triangulated_grid(16, 16)),
@@ -239,8 +310,14 @@ fn routing_report() {
         let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
         for (label, strategy) in [
             ("tree pipeline", GatherStrategy::TreePipeline),
-            ("load balance (L2.2)", GatherStrategy::LoadBalance(LoadBalanceParams::default())),
-            ("walk schedule (L2.5)", GatherStrategy::WalkSchedule(WalkParams::default())),
+            (
+                "load balance (L2.2)",
+                GatherStrategy::LoadBalance(LoadBalanceParams::default()),
+            ),
+            (
+                "walk schedule (L2.5)",
+                GatherStrategy::WalkSchedule(WalkParams::default()),
+            ),
         ] {
             let mut meter = RoundMeter::new();
             let report = gather_to_leader(&g, leader, 0.05, &strategy, &mut meter);
@@ -306,11 +383,20 @@ fn applications_report() {
 fn property_testing_report() {
     let mut table = Table::new(
         "F8 / Corollary 6.6 — planarity testing (ε = 0.2): verdict and rounds",
-        &["instance", "n", "verdict", "rounds", "error-detection rounds"],
+        &[
+            "instance",
+            "n",
+            "verdict",
+            "rounds",
+            "error-detection rounds",
+        ],
     );
     let mut cases: Vec<(String, mfd_graph::Graph)> = Vec::new();
     for s in [16usize, 24, 32] {
-        cases.push((format!("planar tri-grid {s}x{s}"), generators::triangulated_grid(s, s)));
+        cases.push((
+            format!("planar tri-grid {s}x{s}"),
+            generators::triangulated_grid(s, s),
+        ));
     }
     for n in [300usize, 600] {
         let base = generators::random_apollonian(n, 3);
@@ -325,7 +411,11 @@ fn property_testing_report() {
         table.row(vec![
             name,
             g.n().to_string(),
-            if o.accepted { "ACCEPT".into() } else { "REJECT".to_string() },
+            if o.accepted {
+                "ACCEPT".into()
+            } else {
+                "REJECT".to_string()
+            },
             o.rounds.to_string(),
             o.error_detection_rounds.to_string(),
         ]);
@@ -340,12 +430,23 @@ fn ablations_report() {
     // Routing strategy ablation for the final routing algorithm A.
     let mut table = Table::new(
         "A1 — ablation: routing strategy of the (ε, D, T)-decomposition (tri-grid 20x20, ε = 0.25)",
-        &["routing strategy", "routing T", "construction rounds", "min delivered"],
+        &[
+            "routing strategy",
+            "routing T",
+            "construction rounds",
+            "min delivered",
+        ],
     );
     for (label, strategy) in [
         ("tree pipeline", GatherStrategy::TreePipeline),
-        ("load balance", GatherStrategy::LoadBalance(LoadBalanceParams::default())),
-        ("walk schedule", GatherStrategy::WalkSchedule(WalkParams::default())),
+        (
+            "load balance",
+            GatherStrategy::LoadBalance(LoadBalanceParams::default()),
+        ),
+        (
+            "walk schedule",
+            GatherStrategy::WalkSchedule(WalkParams::default()),
+        ),
     ] {
         let config = EdtConfig::new(0.25).with_routing_gather(strategy);
         let (d, _) = build_edt(&g, &config);

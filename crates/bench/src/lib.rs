@@ -30,7 +30,12 @@ impl Workload {
 pub fn bounded_degree_family(sides: &[usize]) -> Vec<Workload> {
     sides
         .iter()
-        .map(|&s| Workload::new(format!("tri-grid-{s}x{s}"), generators::triangulated_grid(s, s)))
+        .map(|&s| {
+            Workload::new(
+                format!("tri-grid-{s}x{s}"),
+                generators::triangulated_grid(s, s),
+            )
+        })
         .collect()
 }
 
@@ -39,7 +44,12 @@ pub fn bounded_degree_family(sides: &[usize]) -> Vec<Workload> {
 pub fn unbounded_degree_family(sizes: &[usize]) -> Vec<Workload> {
     let mut v: Vec<Workload> = sizes
         .iter()
-        .map(|&n| Workload::new(format!("apollonian-{n}"), generators::random_apollonian(n, 0xA11)))
+        .map(|&n| {
+            Workload::new(
+                format!("apollonian-{n}"),
+                generators::random_apollonian(n, 0xA11),
+            )
+        })
         .collect();
     v.extend(
         sizes

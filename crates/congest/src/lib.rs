@@ -24,6 +24,30 @@
 //! [`RoundMeter::merge_parallel`]. When clusters may overlap on edges (the
 //! `(ε, φ, c)` decompositions of §4), the caller multiplies by the overlap factor `c`
 //! exactly as the paper does, using [`RoundMeter::charge_rounds`].
+//!
+//! # Metered vs. executed modes
+//!
+//! The meter supports two styles of use, and both funnel through the same
+//! accounting so their round counts are directly comparable:
+//!
+//! * **Metered (leader-local) mode** — the traditional style of this codebase:
+//!   an algorithm is computed centrally and *charges* the rounds the
+//!   distributed protocol would take, either message-by-message via
+//!   [`RoundMeter::round`] (which verifies each message travels an edge and
+//!   respects bandwidth) or in bulk via [`RoundMeter::charge_rounds`] for
+//!   sub-routines whose pattern is provably within capacity. Model compliance
+//!   of `charge_rounds` call sites is an *assertion* by the caller.
+//! * **Executed mode** — the `mfd-runtime` crate runs algorithms as real
+//!   message-passing node programs; every synchronous round's complete message
+//!   set is submitted through [`RoundMeter::round`], so model compliance is
+//!   *checked at execution time*, not asserted. [`RoundMeter::check_round`] is
+//!   the non-recording validation hook the executor's tests use to state the
+//!   contract: an executed round is committed if and only if the meter accepts
+//!   it.
+//!
+//! Differential tests in `mfd-core` keep the two modes honest against each
+//! other: the executed ports must produce the same outputs as their metered
+//! counterparts with round counts within the paper's bounds.
 
 pub mod meter;
 pub mod primitives;

@@ -161,28 +161,62 @@ impl RoundMeter {
     pub fn round(&mut self, g: &Graph, msgs: &[Message]) -> Result<(), CongestError> {
         self.rounds += 1;
         self.messages += msgs.len() as u64;
+        let (max_on_edge, verdict) = Self::validate(g, msgs, self.capacity_words);
+        self.max_words_on_edge = self.max_words_on_edge.max(max_on_edge);
+        verdict
+    }
+
+    /// Checks whether one round's message set is admissible **without recording
+    /// anything** — the verdict [`RoundMeter::round`] would return for the same
+    /// input.
+    ///
+    /// This is the validation hook the `mfd-runtime` executor (and its
+    /// property tests) build on: an executed round is committed only if this
+    /// check accepts it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoundMeter::round`].
+    pub fn check_round(&self, g: &Graph, msgs: &[Message]) -> Result<(), CongestError> {
+        Self::validate(g, msgs, self.capacity_words).1
+    }
+
+    /// Shared validation: returns the largest per-edge load observed (over the
+    /// prefix of edges inspected before any error) and the verdict.
+    fn validate(
+        g: &Graph,
+        msgs: &[Message],
+        capacity_words: usize,
+    ) -> (usize, Result<(), CongestError>) {
         let mut per_edge: HashMap<(usize, usize), usize> = HashMap::new();
         for m in msgs {
             if !g.has_edge(m.src, m.dst) {
-                return Err(CongestError::NotAnEdge {
-                    src: m.src,
-                    dst: m.dst,
-                });
+                return (
+                    0,
+                    Err(CongestError::NotAnEdge {
+                        src: m.src,
+                        dst: m.dst,
+                    }),
+                );
             }
             *per_edge.entry((m.src, m.dst)).or_insert(0) += m.words;
         }
+        let mut max_on_edge = 0;
         for (&(src, dst), &words) in &per_edge {
-            self.max_words_on_edge = self.max_words_on_edge.max(words);
-            if words > self.capacity_words {
-                return Err(CongestError::BandwidthExceeded {
-                    src,
-                    dst,
-                    words,
-                    capacity: self.capacity_words,
-                });
+            max_on_edge = max_on_edge.max(words);
+            if words > capacity_words {
+                return (
+                    max_on_edge,
+                    Err(CongestError::BandwidthExceeded {
+                        src,
+                        dst,
+                        words,
+                        capacity: capacity_words,
+                    }),
+                );
             }
         }
-        Ok(())
+        (max_on_edge, Ok(()))
     }
 
     /// Records `r` rounds without individual message verification.
@@ -308,6 +342,126 @@ mod tests {
         assert_eq!(total.messages(), 17);
         total.merge_sequential(&b);
         assert_eq!(total.rounds(), 8);
+    }
+
+    #[test]
+    fn zero_word_messages_are_counted_but_use_no_bandwidth() {
+        let g = generators::path(3);
+        let mut meter = RoundMeter::new();
+        let zero = Message {
+            src: 0,
+            dst: 1,
+            words: 0,
+        };
+        // Arbitrarily many zero-word messages on one edge stay within any capacity.
+        meter.round(&g, &[zero, zero, zero]).unwrap();
+        assert_eq!(meter.rounds(), 1);
+        assert_eq!(meter.messages(), 3);
+        assert_eq!(meter.max_words_on_edge(), 0);
+        // But a zero-word message along a non-edge is still a model violation.
+        let bad = Message {
+            src: 0,
+            dst: 2,
+            words: 0,
+        };
+        assert_eq!(
+            meter.round(&g, &[bad]).unwrap_err(),
+            CongestError::NotAnEdge { src: 0, dst: 2 }
+        );
+    }
+
+    #[test]
+    fn exact_capacity_sends_are_admissible() {
+        let g = generators::path(3);
+        let mut meter = RoundMeter::with_capacity(3);
+        // Exactly at capacity: three one-word messages over one directed edge.
+        meter
+            .round(
+                &g,
+                &[
+                    Message::word(0, 1),
+                    Message::word(0, 1),
+                    Message::word(0, 1),
+                ],
+            )
+            .unwrap();
+        assert_eq!(meter.max_words_on_edge(), 3);
+        // One more word over the same edge is one too many.
+        let err = meter
+            .round(
+                &g,
+                &[
+                    Message::word(0, 1),
+                    Message::word(0, 1),
+                    Message::word(0, 1),
+                    Message::word(0, 1),
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CongestError::BandwidthExceeded {
+                src: 0,
+                dst: 1,
+                words: 4,
+                capacity: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_identities() {
+        // Parallel merge with an empty iterator is the identity.
+        let mut meter = RoundMeter::new();
+        meter.charge_rounds(4);
+        meter.charge_messages(9);
+        meter.merge_parallel(std::iter::empty());
+        assert_eq!(meter.rounds(), 4);
+        assert_eq!(meter.messages(), 9);
+        // Merging a fresh meter changes nothing under either composition.
+        let fresh = RoundMeter::new();
+        meter.merge_parallel([&fresh]);
+        meter.merge_sequential(&fresh);
+        assert_eq!(meter.rounds(), 4);
+        assert_eq!(meter.messages(), 9);
+        // Sequential merge after parallel merge of a single meter equals
+        // applying that meter twice sequentially.
+        let mut single = RoundMeter::new();
+        single.charge_rounds(2);
+        single.charge_messages(5);
+        let mut a = RoundMeter::new();
+        a.merge_parallel([&single]);
+        a.merge_sequential(&single);
+        assert_eq!(a.rounds(), 4);
+        assert_eq!(a.messages(), 10);
+    }
+
+    #[test]
+    fn check_round_matches_round_verdict_without_recording() {
+        let g = generators::cycle(5);
+        let meter = RoundMeter::new();
+        let good = [Message::word(0, 1), Message::word(2, 3)];
+        let non_edge = [Message::word(0, 2)];
+        let overload = [Message::word(0, 1), Message::word(0, 1)];
+        assert!(meter.check_round(&g, &good).is_ok());
+        assert!(matches!(
+            meter.check_round(&g, &non_edge),
+            Err(CongestError::NotAnEdge { .. })
+        ));
+        assert!(matches!(
+            meter.check_round(&g, &overload),
+            Err(CongestError::BandwidthExceeded { .. })
+        ));
+        // check_round records nothing.
+        assert_eq!(meter.rounds(), 0);
+        assert_eq!(meter.messages(), 0);
+        assert_eq!(meter.max_words_on_edge(), 0);
+        // And agrees with what round() returns on the same inputs.
+        for msgs in [&good[..], &non_edge[..], &overload[..]] {
+            let verdict = meter.check_round(&g, msgs);
+            let mut recorder = RoundMeter::new();
+            assert_eq!(verdict, recorder.round(&g, msgs));
+        }
     }
 
     #[test]

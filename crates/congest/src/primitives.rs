@@ -61,7 +61,7 @@ pub fn build_bfs_tree(
     meter: &mut RoundMeter,
 ) -> BfsTree {
     let n = g.n();
-    let in_mask = |v: usize| mask.map_or(true, |m| m[v]);
+    let in_mask = |v: usize| mask.is_none_or(|m| m[v]);
     assert!(in_mask(root), "BFS root must lie inside the mask");
     let mut parent = vec![usize::MAX; n];
     let mut depth = vec![usize::MAX; n];
@@ -168,12 +168,7 @@ pub fn convergecast_argmax(
 }
 
 /// Convergecast a sum of `u64` values to the root. Costs `height` rounds.
-pub fn convergecast_sum(
-    g: &Graph,
-    tree: &BfsTree,
-    values: &[u64],
-    meter: &mut RoundMeter,
-) -> u64 {
+pub fn convergecast_sum(g: &Graph, tree: &BfsTree, values: &[u64], meter: &mut RoundMeter) -> u64 {
     let mut acc: Vec<u64> = vec![0; g.n()];
     for &v in &tree.members {
         acc[v] = values[v];
@@ -220,12 +215,7 @@ pub fn broadcast_words(g: &Graph, tree: &BfsTree, words: u64, meter: &mut RoundM
 /// number of messages received by the root; the exact round-by-round forwarding is
 /// simulated, so the returned meter reflects the true pipelined cost
 /// (≈ height + Σ counts through the most loaded root edge).
-pub fn upcast_pipeline(
-    g: &Graph,
-    tree: &BfsTree,
-    counts: &[usize],
-    meter: &mut RoundMeter,
-) -> u64 {
+pub fn upcast_pipeline(g: &Graph, tree: &BfsTree, counts: &[usize], meter: &mut RoundMeter) -> u64 {
     let n = g.n();
     let mut pending: Vec<u64> = vec![0; n];
     let mut total_expected: u64 = 0;
@@ -323,7 +313,7 @@ pub fn bfs_levels(tree: &BfsTree) -> Vec<(usize, usize)> {
 /// any metering (a purely local helper used by leaders operating on gathered
 /// topology).
 pub fn local_bfs_order(g: &Graph, mask: Option<&[bool]>, root: usize) -> Vec<usize> {
-    let in_mask = |v: usize| mask.map_or(true, |m| m[v]);
+    let in_mask = |v: usize| mask.is_none_or(|m| m[v]);
     let mut seen = vec![false; g.n()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -362,8 +352,8 @@ mod tests {
     fn bfs_tree_respects_mask() {
         let g = generators::grid(4, 4);
         let mut mask = vec![false; 16];
-        for v in 0..8 {
-            mask[v] = true;
+        for m in mask.iter_mut().take(8) {
+            *m = true;
         }
         let mut meter = RoundMeter::new();
         let tree = build_bfs_tree(&g, Some(&mask), 0, &mut meter);

@@ -177,9 +177,7 @@ pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter
             }
 
             // Diameter control: refine clusters that grew beyond the O(1/ε) target.
-            let max_diam = clustering
-                .max_cluster_diameter(g)
-                .unwrap_or(usize::MAX);
+            let max_diam = clustering.max_cluster_diameter(g).unwrap_or(usize::MAX);
             if max_diam > d_target && refine_budget > eps / 4.0 {
                 let this_budget = refine_budget / 2.0;
                 refine_budget -= this_budget;
@@ -400,7 +398,12 @@ mod tests {
         let g = generators::grid(12, 12);
         let (d, _) = check(&g, 0.3);
         assert!(d.clustering.num_clusters() < g.n());
-        assert!(d.diameter <= EdtConfig::new(0.3).diameter_target().max(g.diameter().unwrap()));
+        assert!(
+            d.diameter
+                <= EdtConfig::new(0.3)
+                    .diameter_target()
+                    .max(g.diameter().unwrap())
+        );
     }
 
     #[test]

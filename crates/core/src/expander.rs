@@ -10,7 +10,9 @@
 //! used by leaders, with the sparse-cut step realized by spectral sweep cuts (exact
 //! enumeration on very small graphs).
 
-use mfd_graph::properties::{conductance_exact, max_exact_conductance_vertices, spectral_sweep_cut};
+use mfd_graph::properties::{
+    conductance_exact, max_exact_conductance_vertices, spectral_sweep_cut,
+};
 use mfd_graph::Graph;
 
 use crate::clustering::Clustering;
@@ -49,7 +51,11 @@ impl Default for ExpanderParams {
 /// Fact 3.1: an `(ε, φ)` expander decomposition with `φ = ε / (4·log₂ m)`, computed
 /// by recursively removing cuts of conductance below `φ` (found by sweep cuts, or by
 /// exact enumeration for very small pieces).
-pub fn expander_decomposition(g: &Graph, epsilon: f64, params: &ExpanderParams) -> ExpanderDecomposition {
+pub fn expander_decomposition(
+    g: &Graph,
+    epsilon: f64,
+    params: &ExpanderParams,
+) -> ExpanderDecomposition {
     let m = g.m().max(2) as f64;
     let phi = epsilon / (4.0 * m.log2());
     expander_decomposition_with_phi(g, phi, params)
@@ -245,7 +251,11 @@ mod tests {
         ] {
             let eps = 0.4;
             let d = expander_decomposition(&g, eps, &ExpanderParams::default());
-            assert!(d.edge_fraction <= eps + 0.25, "fraction {}", d.edge_fraction);
+            assert!(
+                d.edge_fraction <= eps + 0.25,
+                "fraction {}",
+                d.edge_fraction
+            );
             assert!(d.clustering.all_clusters_connected(&g));
         }
     }

@@ -123,9 +123,9 @@ pub fn heavy_stars(cluster_graph: &WeightedGraph) -> HeavyStars {
             children[parent[u]].push(u);
         }
     }
-    let weight_to_parent =
-        |u: usize| -> u64 { cluster_graph.weight(u, parent[u]) };
-    let mut marked: Vec<bool> = vec![false; k]; // marked[u] == the edge (u, parent[u]) is marked
+    let weight_to_parent = |u: usize| -> u64 { cluster_graph.weight(u, parent[u]) };
+    // marked[u] == the edge (u, parent[u]) is marked.
+    let mut marked: Vec<bool> = vec![false; k];
     // Colours are 0-based: paper colour 1 ↔ 0, 2 ↔ 1, 3 ↔ 2. A colour-0 vertex
     // arbitrates its tree edges towards colours {1, 2}; a colour-1 vertex arbitrates
     // towards colour {2}; every tree edge is arbitrated exactly once.
@@ -318,7 +318,11 @@ mod tests {
         let wg = cluster_graph_of(&g, &labels);
         let hs = heavy_stars(&wg);
         assert_vertex_disjoint(&hs.stars);
-        assert!(hs.captured_fraction() >= 1.0 / 24.0, "fraction {}", hs.captured_fraction());
+        assert!(
+            hs.captured_fraction() >= 1.0 / 24.0,
+            "fraction {}",
+            hs.captured_fraction()
+        );
         assert!(hs.captured_weight > 0);
     }
 
@@ -350,7 +354,10 @@ mod tests {
         let hs = heavy_stars(&wg);
         for s in &hs.stars {
             for &l in &s.leaves {
-                assert!(wg.weight(s.center, l) > 0, "star edge missing in cluster graph");
+                assert!(
+                    wg.weight(s.center, l) > 0,
+                    "star edge missing in cluster graph"
+                );
             }
         }
     }

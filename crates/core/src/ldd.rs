@@ -162,7 +162,9 @@ pub fn region_growing_ldd(g: &Graph, epsilon: f64) -> Clustering {
                     }
                 }
             }
-            if boundary_edges as f64 <= epsilon * (internal as f64 + 1.0) || next_frontier.is_empty() {
+            if boundary_edges as f64 <= epsilon * (internal as f64 + 1.0)
+                || next_frontier.is_empty()
+            {
                 break;
             }
             for &u in &next_frontier {
@@ -177,6 +179,72 @@ pub fn region_growing_ldd(g: &Graph, epsilon: f64) -> Clustering {
         next_label += 1;
     }
     Clustering::from_labels(g, labels).split_into_components(g)
+}
+
+/// Multi-source "Voronoi" low-diameter clustering: every vertex joins the
+/// center at minimum BFS distance, breaking distance ties towards the
+/// smallest center id.
+///
+/// This is the cluster-assignment flood at the heart of every LDD once
+/// centers are fixed (for region growing, the centers are the grown balls'
+/// seeds), and it is exactly the computation the message-passing port
+/// [`crate::programs::VoronoiLddProgram`] executes; the two are differentially
+/// validated against each other. Cells are always connected: along a shortest
+/// path to the owning center, every vertex prefers that same center.
+/// Vertices unreachable from every center become singleton clusters.
+///
+/// # Panics
+///
+/// Panics if `centers` is empty while `g` has vertices, or contains an
+/// out-of-range vertex.
+pub fn voronoi_ldd(g: &Graph, centers: &[usize]) -> Clustering {
+    let n = g.n();
+    if n == 0 {
+        return Clustering::from_labels(g, Vec::new());
+    }
+    assert!(!centers.is_empty(), "at least one center is required");
+    let mut dist = vec![usize::MAX; n];
+    let mut label = vec![usize::MAX; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for &c in centers {
+        assert!(c < n, "center out of range");
+        if dist[c] != usize::MAX {
+            continue;
+        }
+        dist[c] = 0;
+        label[c] = c;
+        frontier.push(c);
+    }
+    // Level-synchronous multi-source BFS; within a level, a vertex adopts the
+    // smallest label offered by any neighbour one level closer.
+    while !frontier.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &v in &frontier {
+            for &u in g.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    next.push(u);
+                }
+            }
+        }
+        for &u in &next {
+            label[u] = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| dist[w] != usize::MAX && dist[w] + 1 == dist[u])
+                .map(|&w| label[w])
+                .min()
+                .expect("frontier vertex has a predecessor");
+        }
+        frontier = next;
+    }
+    // Unreached vertices become their own clusters.
+    for (v, l) in label.iter_mut().enumerate() {
+        if *l == usize::MAX {
+            *l = v;
+        }
+    }
+    Clustering::from_labels(g, label)
 }
 
 /// Convenience: runs [`chop_ldd`] and reports the measured quality.
@@ -255,6 +323,45 @@ mod tests {
             );
             assert!(c.all_clusters_connected(&g));
         }
+    }
+
+    #[test]
+    fn voronoi_cells_are_connected_and_cover() {
+        for g in [
+            generators::triangulated_grid(10, 10),
+            generators::wheel(40),
+            generators::hypercube(6),
+        ] {
+            // Seed the Voronoi assignment with the region-growing ball seeds.
+            let rg = region_growing_ldd(&g, 0.3);
+            let centers: Vec<usize> = rg
+                .clusters()
+                .map(|members| members.iter().copied().min().unwrap())
+                .collect();
+            let c = voronoi_ldd(&g, &centers);
+            assert_eq!(c.num_vertices(), g.n());
+            assert!(c.all_clusters_connected(&g));
+            assert_eq!(c.num_clusters(), centers.len());
+        }
+    }
+
+    #[test]
+    fn voronoi_ties_break_to_smallest_center() {
+        // Path 0-1-2-3-4 with centers 0 and 4: vertex 2 is equidistant and
+        // must join center 0.
+        let g = generators::path(5);
+        let c = voronoi_ldd(&g, &[0, 4]);
+        assert_eq!(c.cluster_of(2), c.cluster_of(0));
+        assert_ne!(c.cluster_of(2), c.cluster_of(4));
+    }
+
+    #[test]
+    fn voronoi_handles_unreachable_vertices() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let c = voronoi_ldd(&g, &[0]);
+        assert_eq!(c.cluster_of(0), c.cluster_of(1));
+        assert_ne!(c.cluster_of(2), c.cluster_of(3));
+        assert_eq!(c.num_clusters(), 3);
     }
 
     #[test]

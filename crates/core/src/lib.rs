@@ -26,6 +26,9 @@
 //! * [`edt`] — the headline (ε, D, T)-decomposition (Theorem 1.1): the iterated
 //!   heavy-stars + leader-refinement pipeline (Lemmas 5.3–5.5), with measured
 //!   construction rounds, routing rounds T, diameter D and inter-cluster fraction.
+//! * [`programs`] — message-passing ports of the above as `mfd-runtime` node
+//!   programs (Cole–Vishkin colouring, BFS flooding, Voronoi LDD assignment),
+//!   differentially validated against the centralized implementations.
 //!
 //! # Quick start
 //!
@@ -48,6 +51,10 @@ pub mod forests;
 pub mod heavy_stars;
 pub mod ldd;
 pub mod overlap;
+pub mod programs;
 
 pub use clustering::Clustering;
 pub use edt::{build_edt, EdtConfig, EdtDecomposition};
+pub use programs::{
+    run_bfs, run_cole_vishkin, run_voronoi_ldd, BfsProgram, ColeVishkinProgram, VoronoiLddProgram,
+};

@@ -107,10 +107,8 @@ impl OverlapDecomposition {
             // G[S] ⊆ G_S.
             for &u in &c.members {
                 for &w in g.neighbors(u) {
-                    if u < w && c.members.contains(&w) {
-                        if !eset.contains(&(u, w)) {
-                            return false;
-                        }
+                    if u < w && c.members.contains(&w) && !eset.contains(&(u, w)) {
+                        return false;
                     }
                 }
             }
@@ -229,7 +227,9 @@ pub fn overlap_expander_decomposition(
 
         let wg = clustering.cluster_graph(g);
         let hs = heavy_stars(&wg);
-        meter.charge_rounds(hs.cluster_graph_rounds * (overlap_bound as u64) * (max_diam as u64 + 1));
+        meter.charge_rounds(
+            hs.cluster_graph_rounds * (overlap_bound as u64) * (max_diam as u64 + 1),
+        );
         meter.end_phase();
 
         // ---- Step 3: drop light links. ----
@@ -361,12 +361,18 @@ fn max_subgraph_diameter(g: &Graph, clusters: &[OverlapCluster]) -> usize {
 mod tests {
     use super::*;
     use mfd_graph::generators;
-    use mfd_graph::properties::{conductance_exact, max_exact_conductance_vertices, spectral_sweep_cut};
+    use mfd_graph::properties::{
+        conductance_exact, max_exact_conductance_vertices, spectral_sweep_cut,
+    };
 
     fn check_quality(g: &Graph, eps: f64) -> OverlapDecomposition {
         let mut meter = RoundMeter::new();
         let d = overlap_expander_decomposition(g, eps, &OverlapParams::default(), &mut meter);
-        assert!(d.edge_fraction <= eps + 1e-9, "fraction {}", d.edge_fraction);
+        assert!(
+            d.edge_fraction <= eps + 1e-9,
+            "fraction {}",
+            d.edge_fraction
+        );
         assert!(d.check_invariants(g));
         assert!(meter.rounds() > 0);
         assert!(
@@ -417,7 +423,9 @@ mod tests {
             let phi = if sub.n() <= max_exact_conductance_vertices() {
                 conductance_exact(&sub).unwrap_or(1.0)
             } else {
-                spectral_sweep_cut(&sub, 60).map(|c| c.conductance).unwrap_or(1.0)
+                spectral_sweep_cut(&sub, 60)
+                    .map(|c| c.conductance)
+                    .unwrap_or(1.0)
             };
             assert!(phi > 0.0);
         }

@@ -154,9 +154,7 @@ impl Graph {
 
     /// Number of edges with exactly one endpoint in the masked set, `|∂(S)|`.
     pub fn cut_size(&self, mask: &[bool]) -> usize {
-        self.edges()
-            .filter(|&(u, v)| mask[u] != mask[v])
-            .count()
+        self.edges().filter(|&(u, v)| mask[u] != mask[v]).count()
     }
 
     /// Number of edges with both endpoints in the masked set.
@@ -234,7 +232,7 @@ impl Graph {
     /// Returns `None` if the graph has vertices unreachable from `src`.
     pub fn eccentricity(&self, src: usize) -> Option<usize> {
         let dist = self.bfs_distances(src);
-        if dist.iter().any(|&d| d == usize::MAX) {
+        if dist.contains(&usize::MAX) {
             None
         } else {
             dist.into_iter().max()
@@ -322,7 +320,10 @@ impl Graph {
         let mut new_index = vec![usize::MAX; self.n()];
         for (i, &v) in vertices.iter().enumerate() {
             assert!(v < self.n(), "vertex out of range");
-            assert!(new_index[v] == usize::MAX, "duplicate vertex in induced_subgraph");
+            assert!(
+                new_index[v] == usize::MAX,
+                "duplicate vertex in induced_subgraph"
+            );
             new_index[v] = i;
         }
         let mut sub = Graph::new(vertices.len());

@@ -164,10 +164,8 @@ fn demoucron(g: &Graph) -> bool {
         }
 
         // --- Admissible faces per bridge. ---
-        let face_sets: Vec<HashSet<usize>> = faces
-            .iter()
-            .map(|f| f.iter().copied().collect())
-            .collect();
+        let face_sets: Vec<HashSet<usize>> =
+            faces.iter().map(|f| f.iter().copied().collect()).collect();
         let mut chosen: Option<(usize, usize)> = None; // (bridge index, face index)
         let mut fallback: Option<(usize, usize)> = None;
         for (bi, bridge) in bridges.iter().enumerate() {
@@ -443,8 +441,12 @@ mod tests {
     #[test]
     fn subdivisions_preserve_planarity_status() {
         assert!(!is_planar(&generators::complete(5).subdivide(3)));
-        assert!(!is_planar(&generators::complete_bipartite(3, 3).subdivide(2)));
-        assert!(is_planar(&generators::random_apollonian(40, 2).subdivide(2)));
+        assert!(!is_planar(
+            &generators::complete_bipartite(3, 3).subdivide(2)
+        ));
+        assert!(is_planar(
+            &generators::random_apollonian(40, 2).subdivide(2)
+        ));
     }
 
     #[test]

@@ -215,8 +215,8 @@ pub fn spectral_sweep_cut(g: &Graph, iterations: usize) -> Option<SweepCut> {
         if norm < 1e-300 {
             break;
         }
-        for v in 0..n {
-            y[v] /= norm;
+        for y_v in y.iter_mut() {
+            *y_v /= norm;
         }
         x = y;
     }

@@ -118,7 +118,9 @@ mod tests {
     fn forests_recognized() {
         assert!(is_forest(&generators::path(10)));
         assert!(is_forest(&generators::binary_tree(15)));
-        assert!(is_forest(&generators::random_tree(40, 1).disjoint_union(&generators::path(5))));
+        assert!(is_forest(
+            &generators::random_tree(40, 1).disjoint_union(&generators::path(5))
+        ));
         assert!(!is_forest(&generators::cycle(5)));
         assert!(!is_forest(&generators::grid(3, 3)));
         assert!(is_forest(&Graph::new(7)));
@@ -127,7 +129,9 @@ mod tests {
     #[test]
     fn linear_forests_recognized() {
         assert!(is_linear_forest(&generators::path(10)));
-        assert!(is_linear_forest(&generators::path(4).disjoint_union(&generators::path(3))));
+        assert!(is_linear_forest(
+            &generators::path(4).disjoint_union(&generators::path(3))
+        ));
         assert!(!is_linear_forest(&generators::star(5)));
         assert!(!is_linear_forest(&generators::cycle(5)));
     }
@@ -154,8 +158,12 @@ mod tests {
     fn treewidth_two_families() {
         assert!(has_treewidth_at_most_2(&generators::path(10)));
         assert!(has_treewidth_at_most_2(&generators::cycle(10)));
-        assert!(has_treewidth_at_most_2(&generators::random_outerplanar(20, 3)));
-        assert!(has_treewidth_at_most_2(&generators::random_series_parallel(40, 0.7, 3)));
+        assert!(has_treewidth_at_most_2(&generators::random_outerplanar(
+            20, 3
+        )));
+        assert!(has_treewidth_at_most_2(
+            &generators::random_series_parallel(40, 0.7, 3)
+        ));
         assert!(has_treewidth_at_most_2(&generators::k_tree(20, 2, 1)));
         assert!(!has_treewidth_at_most_2(&generators::complete(4)));
         assert!(!has_treewidth_at_most_2(&generators::grid(3, 3)));
@@ -178,6 +186,8 @@ mod tests {
         let b = generators::cycle(7);
         let u = a.disjoint_union(&b);
         assert!(has_treewidth_at_most_2(&u));
-        assert!(is_cactus(&generators::cycle(4).disjoint_union(&generators::cycle(5))));
+        assert!(is_cactus(
+            &generators::cycle(4).disjoint_union(&generators::cycle(5))
+        ));
     }
 }

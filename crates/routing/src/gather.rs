@@ -111,7 +111,13 @@ pub fn tree_gather(cluster: &Graph, leader: usize, meter: &mut RoundMeter) -> Ga
     let rounds_before = meter.rounds();
     let tree = primitives::build_bfs_tree(cluster, None, leader, meter);
     let counts: Vec<usize> = (0..n)
-        .map(|v| if tree.contains(v) { cluster.degree(v) } else { 0 })
+        .map(|v| {
+            if tree.contains(v) {
+                cluster.degree(v)
+            } else {
+                0
+            }
+        })
         .collect();
     primitives::upcast_pipeline(cluster, &tree, &counts, meter);
     // The reverse (leader-to-vertices) distribution costs the same by reversibility.

@@ -104,12 +104,14 @@ pub fn load_balance_gather(
     let tokens_per_message = if params.tokens_per_message > 0 {
         params.tokens_per_message
     } else {
-        ((4.0 * threshold as f64 / phi).ceil() as usize).clamp(threshold + 1, params.max_tokens_per_message)
+        ((4.0 * threshold as f64 / phi).ceil() as usize)
+            .clamp(threshold + 1, params.max_tokens_per_message)
     };
     let steps_per_phase = if params.steps_per_phase > 0 {
         params.steps_per_phase
     } else {
-        ((4.0 * tokens_per_message as f64 / phi).ceil() as usize).clamp(16, params.max_steps_per_phase)
+        ((4.0 * tokens_per_message as f64 / phi).ceil() as usize)
+            .clamp(16, params.max_steps_per_phase)
     };
 
     // Message IDs are split ports. Messages belonging to the target are delivered by
@@ -228,8 +230,7 @@ pub fn load_balance_gather(
 
     let mut per_vertex_delivered = vec![0usize; cluster.n()];
     let mut delivered_count = 0usize;
-    for p in 0..ports {
-        let v = split.owner[p];
+    for (p, &v) in split.owner.iter().enumerate().take(ports) {
         if cluster.degree(v) == 0 {
             continue;
         }
@@ -292,7 +293,8 @@ mod tests {
         let g = generators::hypercube(4);
         let target = 0;
         let mut meter = RoundMeter::new();
-        let report = load_balance_gather(&g, target, 0.1, &LoadBalanceParams::default(), &mut meter);
+        let report =
+            load_balance_gather(&g, target, 0.1, &LoadBalanceParams::default(), &mut meter);
         assert!(
             report.delivered_fraction >= 0.9,
             "fraction {}",
@@ -315,8 +317,10 @@ mod tests {
         let g = generators::complete(6);
         let mut fwd = RoundMeter::new();
         let mut both = RoundMeter::new();
-        let mut params = LoadBalanceParams::default();
-        params.charge_reverse = false;
+        let mut params = LoadBalanceParams {
+            charge_reverse: false,
+            ..Default::default()
+        };
         let a = load_balance_gather(&g, 0, 0.0, &params, &mut fwd);
         params.charge_reverse = true;
         let b = load_balance_gather(&g, 0, 0.0, &params, &mut both);

@@ -40,8 +40,7 @@ impl ExpanderSplit {
         let num_ports = port_offset[n];
         let mut split = Graph::new(num_ports);
         let mut owner = vec![0usize; num_ports];
-        for v in 0..n {
-            let start = port_offset[v];
+        for (v, &start) in port_offset.iter().enumerate().take(n) {
             let d = g.degree(v).max(1);
             for p in 0..d {
                 owner[start + p] = v;

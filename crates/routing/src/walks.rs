@@ -135,8 +135,8 @@ pub fn estimate_mixing_time(g: &Graph, cap: usize) -> usize {
             return 4;
         }
         lambda = norm / x.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
-        for v in 0..n {
-            y[v] /= norm;
+        for y_v in y.iter_mut() {
+            *y_v /= norm;
         }
         x = y;
     }
@@ -148,12 +148,7 @@ pub fn estimate_mixing_time(g: &Graph, cap: usize) -> usize {
 /// Plans a walk schedule for gathering `deg(v)` messages from every cluster vertex to
 /// `target`. This is a local computation at the vertex that knows the topology; it
 /// costs no rounds.
-pub fn plan_walk_schedule(
-    cluster: &Graph,
-    target: usize,
-    f: f64,
-    params: &WalkParams,
-) -> WalkPlan {
+pub fn plan_walk_schedule(cluster: &Graph, target: usize, f: f64, params: &WalkParams) -> WalkPlan {
     assert!(target < cluster.n());
     let split = ExpanderSplit::build(cluster);
     let tau = if params.steps > 0 {
@@ -176,7 +171,15 @@ pub fn plan_walk_schedule(
     for try_idx in 0..params.max_seed_tries.max(1) {
         seeds_tried += 1;
         let seed = splitmix64(0xc0ff_ee00 + try_idx as u64);
-        let (good, fraction) = evaluate_seed(cluster, &split, target, seed, r, tau, params.congestion_factor);
+        let (good, fraction) = evaluate_seed(
+            cluster,
+            &split,
+            target,
+            seed,
+            r,
+            tau,
+            params.congestion_factor,
+        );
         let better = match &best {
             None => true,
             Some((_, _, bf)) => fraction > *bf,
@@ -248,7 +251,8 @@ fn evaluate_seed(
             visits[p] += 1;
             let mut cur = p;
             for t in 0..tau {
-                let h = splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
+                let h =
+                    splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
                 let lazy = h & 1 == 0;
                 if !lazy {
                     let nbrs = split.split.neighbors(cur);
@@ -288,7 +292,8 @@ fn evaluate_seed(
                 break;
             }
             for t in 0..tau {
-                let h = splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
+                let h =
+                    splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
                 let lazy = h & 1 == 0;
                 if !lazy {
                     let nbrs = split.split.neighbors(cur);
@@ -335,13 +340,13 @@ pub fn execute_walk_gather(
     }
     // Execute the walks: 3r rounds per step (the congestion cap), exactly as in the
     // paper's analysis.
-    let exec_rounds =
-        (params.congestion_factor as u64) * (schedule.walks_per_message as u64) * (schedule.steps as u64);
+    let exec_rounds = (params.congestion_factor as u64)
+        * (schedule.walks_per_message as u64)
+        * (schedule.steps as u64);
     meter.charge_rounds(exec_rounds);
     let split = ExpanderSplit::build(cluster);
-    meter.charge_messages(
-        (plan.good.iter().filter(|&&g| g).count() as u64) * schedule.steps as u64,
-    );
+    meter
+        .charge_messages((plan.good.iter().filter(|&&g| g).count() as u64) * schedule.steps as u64);
     if params.charge_reverse {
         meter.charge_rounds(exec_rounds);
     }
@@ -387,7 +392,10 @@ pub fn plan_common_schedule(
     if clusters.is_empty() {
         return Vec::new();
     }
-    let splits: Vec<ExpanderSplit> = clusters.iter().map(|(g, _)| ExpanderSplit::build(g)).collect();
+    let splits: Vec<ExpanderSplit> = clusters
+        .iter()
+        .map(|(g, _)| ExpanderSplit::build(g))
+        .collect();
     let tau = if params.steps > 0 {
         params.steps
     } else {
@@ -405,14 +413,17 @@ pub fn plan_common_schedule(
             .zip(&splits)
             .map(|((g, target), s)| {
                 let delta = g.degree(*target).max(1);
-                let base = (s.num_ports() as f64 / delta as f64) * (1.0 / f.max(1e-6)).ln().max(1.0)
+                let base = (s.num_ports() as f64 / delta as f64)
+                    * (1.0 / f.max(1e-6)).ln().max(1.0)
                     + (tau as f64).log2().max(1.0);
                 (base.ceil() as usize).clamp(2, params.max_walks_per_message)
             })
             .max()
             .unwrap_or(2)
     };
-    let mut best: Option<(u64, Vec<(Vec<bool>, f64)>, f64)> = None;
+    // (seed, per-cluster (good-mask, fraction) pairs, overall good fraction)
+    type SeedAttempt = (u64, Vec<(Vec<bool>, f64)>, f64);
+    let mut best: Option<SeedAttempt> = None;
     for try_idx in 0..params.max_seed_tries.max(1) {
         let seed = splitmix64(0xbeef_0000 + try_idx as u64);
         let mut per_cluster = Vec::with_capacity(clusters.len());
@@ -430,7 +441,7 @@ pub fn plan_common_schedule(
         } else {
             good_total as f64 / msg_total as f64
         };
-        let better = best.as_ref().map_or(true, |(_, _, bf)| fraction > *bf);
+        let better = best.as_ref().is_none_or(|(_, _, bf)| fraction > *bf);
         if better {
             best = Some((seed, per_cluster, fraction));
         }
@@ -502,7 +513,11 @@ mod tests {
             * plan.schedule.walks_per_message
             * plan.schedule.steps) as u64;
         assert!(report.rounds >= 2 * exec);
-        assert!(report.delivered_fraction >= 0.7, "fraction {}", report.delivered_fraction);
+        assert!(
+            report.delivered_fraction >= 0.7,
+            "fraction {}",
+            report.delivered_fraction
+        );
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Cluster-scoped execution: run a node program independently on
+//! vertex-disjoint clusters, in parallel, with the paper's parallel-composition
+//! accounting (rounds = max over clusters, messages = sum).
+
+use mfd_congest::RoundMeter;
+use mfd_graph::Graph;
+use rayon::prelude::*;
+
+use crate::executor::{Executor, ExecutorConfig, RuntimeError};
+use crate::program::NodeProgram;
+
+/// Result of running a program on every cluster of a partition.
+#[derive(Debug)]
+pub struct ClusterExecution<S> {
+    /// Original vertex ids of each cluster (as passed in).
+    pub members: Vec<Vec<usize>>,
+    /// Final states per cluster, aligned with `members` (state `i` of cluster
+    /// `c` belongs to original vertex `members[c][i]`).
+    pub cluster_states: Vec<Vec<S>>,
+    /// Parallel-composition meter: rounds advanced by the maximum over
+    /// clusters, messages by the sum — [`RoundMeter::merge_parallel`]
+    /// semantics, since vertex-disjoint clusters only use their own edges.
+    pub meter: RoundMeter,
+    /// Rounds of the slowest cluster (equals `meter.rounds()`).
+    pub max_rounds: u64,
+}
+
+impl<S> ClusterExecution<S> {
+    /// Scatters per-cluster states back to a dense per-original-vertex vector
+    /// via `extract`, with `default` for vertices outside every cluster.
+    pub fn scatter<T: Clone>(
+        &self,
+        n: usize,
+        default: T,
+        mut extract: impl FnMut(&S) -> T,
+    ) -> Vec<T> {
+        let mut out = vec![default; n];
+        for (cluster, states) in self.members.iter().zip(&self.cluster_states) {
+            for (&v, s) in cluster.iter().zip(states) {
+                out[v] = extract(s);
+            }
+        }
+        out
+    }
+}
+
+/// Runs one program per cluster on the induced subgraphs of vertex-disjoint
+/// clusters, in parallel across clusters.
+///
+/// `make_program` receives `(cluster index, induced subgraph, original ids)`
+/// and returns the program for that cluster; vertex `i` of the subgraph is
+/// original vertex `members[i]`. When there are at least as many clusters as
+/// worker threads, each per-cluster executor runs single-threaded (the
+/// cluster-level parallelism already saturates the machine); otherwise the
+/// configured thread count is used inside each cluster.
+///
+/// # Errors
+///
+/// Returns the first (by cluster index) [`RuntimeError`] if any cluster run
+/// fails; accounting from other clusters is discarded.
+///
+/// # Panics
+///
+/// Panics if clusters overlap or contain out-of-range vertices (via
+/// [`Graph::induced_subgraph`] on each cluster).
+pub fn run_on_clusters<P, F>(
+    g: &Graph,
+    clusters: &[Vec<usize>],
+    make_program: F,
+    config: &ExecutorConfig,
+) -> Result<ClusterExecution<P::State>, RuntimeError>
+where
+    P: NodeProgram,
+    F: Fn(usize, &Graph, &[usize]) -> P + Sync,
+{
+    let threads = if config.threads > 0 {
+        config.threads
+    } else {
+        rayon::current_num_threads()
+    };
+    let inner_threads = if clusters.len() >= threads {
+        1
+    } else {
+        threads
+    };
+    let inner_config = ExecutorConfig {
+        threads: inner_threads,
+        ..config.clone()
+    };
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction cannot fail");
+    type ClusterRun<S> = Result<(Vec<S>, RoundMeter), RuntimeError>;
+    let runs: Vec<ClusterRun<P::State>> = pool.install(|| {
+        (0..clusters.len())
+            .into_par_iter()
+            .map(|idx| {
+                let (sub, members) = g.induced_subgraph(&clusters[idx]);
+                let program = make_program(idx, &sub, &members);
+                let executor = Executor::new(inner_config.clone());
+                executor
+                    .run(&sub, &program)
+                    .map(|exec| (exec.states, exec.meter))
+            })
+            .collect()
+    });
+
+    let mut meter = RoundMeter::with_capacity(config.capacity_words);
+    let mut cluster_states = Vec::with_capacity(clusters.len());
+    let mut cluster_meters = Vec::with_capacity(clusters.len());
+    for run in runs {
+        let (states, cluster_meter) = run?;
+        cluster_states.push(states);
+        cluster_meters.push(cluster_meter);
+    }
+    meter.merge_parallel(cluster_meters.iter());
+
+    Ok(ClusterExecution {
+        members: clusters.to_vec(),
+        cluster_states,
+        max_rounds: meter.rounds(),
+        meter,
+    })
+}

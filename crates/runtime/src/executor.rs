@@ -1,0 +1,485 @@
+//! The round-synchronous parallel executor.
+
+use std::fmt;
+
+use mfd_congest::{CongestError, Message, RoundMeter};
+use mfd_graph::Graph;
+use rayon::prelude::*;
+
+use crate::program::{Envelope, NodeCtx, NodeProgram, Outbox};
+
+/// Configuration for an [`Executor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads for the per-round vertex sweep (0 = all available).
+    pub threads: usize,
+    /// Upper bound on executed rounds before the run is aborted with
+    /// [`RuntimeError::RoundLimit`] (guards against non-halting programs).
+    pub max_rounds: u64,
+    /// Per-edge, per-direction bandwidth in 64-bit words per round.
+    pub capacity_words: usize,
+    /// Seed for the deterministic per-vertex RNG streams.
+    pub seed: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            threads: 0,
+            max_rounds: 1_000_000,
+            capacity_words: RoundMeter::DEFAULT_CAPACITY_WORDS,
+            seed: 0x6d66642d72740a,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Config with an explicit thread count and defaults elsewhere.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutorConfig {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors aborting an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A vertex violated the CONGEST model (non-edge send or bandwidth
+    /// overcommitment); carries the meter's verdict.
+    Model(CongestError),
+    /// The program did not halt within the configured round budget.
+    RoundLimit {
+        /// The configured bound that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Model(e) => write!(f, "CONGEST model violation: {e}"),
+            RuntimeError::RoundLimit { limit } => {
+                write!(f, "program did not halt within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Result of a completed execution.
+#[derive(Debug)]
+pub struct Execution<S> {
+    /// Final state of every vertex.
+    pub states: Vec<S>,
+    /// The meter that validated and accounted every executed round.
+    pub meter: RoundMeter,
+    /// Rounds executed (equals `meter.rounds()`).
+    pub rounds: u64,
+    /// Messages delivered (equals `meter.messages()`).
+    pub messages: u64,
+}
+
+/// A deterministic, data-parallel, round-synchronous CONGEST engine.
+///
+/// Each round, every non-halted vertex is run (in parallel across a
+/// configurable number of threads), its sends are collected into
+/// double-buffered mailboxes, and the complete round is submitted to a
+/// [`RoundMeter`], which rejects any round the CONGEST model would not allow.
+/// Executions are bit-for-bit deterministic in the thread count: vertex
+/// results are committed in vertex order and per-vertex RNG streams are seeded
+/// from `(seed, vertex, round)`, never from scheduling.
+#[derive(Debug, Default)]
+pub struct Executor {
+    config: ExecutorConfig,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl Executor {
+    /// Creates an executor from a configuration.
+    pub fn new(config: ExecutorConfig) -> Self {
+        let pool = (config.threads > 0).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(config.threads)
+                .build()
+                .expect("thread pool construction cannot fail")
+        });
+        Executor { config, pool }
+    }
+
+    /// The configuration this executor runs with.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Runs `program` on every vertex of `g` until all vertices halt.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Model`] if any round violates the CONGEST model, and
+    /// [`RuntimeError::RoundLimit`] if the program exceeds the round budget.
+    pub fn run<P: NodeProgram>(
+        &self,
+        g: &Graph,
+        program: &P,
+    ) -> Result<Execution<P::State>, RuntimeError> {
+        match &self.pool {
+            Some(pool) => pool.install(|| self.run_inner(g, program)),
+            None => self.run_inner(g, program),
+        }
+    }
+
+    fn run_inner<P: NodeProgram>(
+        &self,
+        g: &Graph,
+        program: &P,
+    ) -> Result<Execution<P::State>, RuntimeError> {
+        let n = g.n();
+        let seed = self.config.seed;
+        // Sorted adjacency enables O(log deg) neighbor checks at send time.
+        let sorted_adj: Vec<Vec<usize>> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let mut a = g.neighbors(v).to_vec();
+                a.sort_unstable();
+                a
+            })
+            .collect();
+
+        let ctx_at = |v: usize, round: u64| NodeCtx {
+            id: v,
+            n,
+            round,
+            neighbors: &sorted_adj[v],
+            seed,
+        };
+
+        let mut states: Vec<P::State> = (0..n)
+            .into_par_iter()
+            .map(|v| program.init(&ctx_at(v, 0)))
+            .collect();
+        let mut halted: Vec<bool> = (0..n)
+            .into_par_iter()
+            .map(|v| program.halted(&ctx_at(v, 0), &states[v]))
+            .collect();
+
+        // Double-buffered mailboxes: `inbox` is read this round, `next_inbox`
+        // collects deliveries for the next one.
+        let mut inbox: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut next_inbox: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+
+        let mut meter = RoundMeter::with_capacity(self.config.capacity_words);
+        let mut round: u64 = 0;
+        while !halted.iter().all(|&h| h) {
+            round += 1;
+            if round > self.config.max_rounds {
+                return Err(RuntimeError::RoundLimit {
+                    limit: self.config.max_rounds,
+                });
+            }
+            // Parallel vertex sweep: run every non-halted vertex.
+            type RoundOut<M> = Option<(Vec<(usize, M, usize)>, bool, Option<CongestError>)>;
+            let halted_ref = &halted;
+            let inbox_ref = &inbox;
+            let adj = &sorted_adj;
+            let outs: Vec<RoundOut<P::Msg>> = states
+                .par_iter_mut()
+                .enumerate()
+                .map(|(v, state)| {
+                    if halted_ref[v] {
+                        return None;
+                    }
+                    let ctx = NodeCtx {
+                        id: v,
+                        n,
+                        round,
+                        neighbors: &adj[v],
+                        seed,
+                    };
+                    let mut out = Outbox::new(v, &adj[v]);
+                    program.round(&ctx, state, &inbox_ref[v], &mut out);
+                    let now_halted = program.halted(&ctx, state);
+                    Some((out.msgs, now_halted, out.violation))
+                })
+                .collect();
+
+            // Commit results sequentially in vertex order: deterministic in
+            // the thread count by construction.
+            for mailbox in &mut inbox {
+                mailbox.clear();
+            }
+            let mut round_msgs: Vec<Message> = Vec::new();
+            let mut send_violation: Option<CongestError> = None;
+            for (v, out) in outs.into_iter().enumerate() {
+                let Some((msgs, now_halted, violation)) = out else {
+                    continue;
+                };
+                if let (None, Some(err)) = (&send_violation, violation) {
+                    send_violation = Some(err);
+                }
+                halted[v] = now_halted;
+                for (dst, msg, words) in msgs {
+                    round_msgs.push(Message { src: v, dst, words });
+                    next_inbox[dst].push(Envelope { src: v, msg });
+                }
+            }
+            if let Some(err) = send_violation {
+                return Err(RuntimeError::Model(err));
+            }
+            meter.round(g, &round_msgs).map_err(RuntimeError::Model)?;
+            std::mem::swap(&mut inbox, &mut next_inbox);
+        }
+
+        Ok(Execution {
+            rounds: meter.rounds(),
+            messages: meter.messages(),
+            states,
+            meter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RuntimeMessage;
+    use mfd_graph::generators;
+
+    /// Every vertex floods a token once; counts distinct tokens seen.
+    struct FloodOnce;
+
+    struct FloodState {
+        sent: bool,
+        seen: u64,
+    }
+
+    impl NodeProgram for FloodOnce {
+        type State = FloodState;
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) -> FloodState {
+            FloodState {
+                sent: false,
+                seen: 0,
+            }
+        }
+
+        fn round(
+            &self,
+            _ctx: &NodeCtx,
+            state: &mut FloodState,
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            state.seen += inbox.len() as u64;
+            if !state.sent {
+                out.broadcast(1);
+                state.sent = true;
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, state: &FloodState) -> bool {
+            // One send round + one receive round.
+            state.sent && ctx.round >= 2
+        }
+    }
+
+    #[test]
+    fn flood_once_counts_degrees() {
+        let g = generators::cycle(8);
+        let exec = Executor::new(ExecutorConfig::default());
+        let run = exec.run(&g, &FloodOnce).unwrap();
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.messages, 2 * g.m() as u64);
+        assert!(run.states.iter().all(|s| s.seen == 2));
+        assert_eq!(run.meter.max_words_on_edge(), 1);
+    }
+
+    /// A program that illegally sends to a non-neighbor.
+    struct NonEdgeSender;
+
+    impl NodeProgram for NonEdgeSender {
+        type State = ();
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) {}
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            _state: &mut (),
+            _inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            if ctx.id == 0 {
+                out.send(ctx.n - 1, 9);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+            ctx.round >= 1
+        }
+    }
+
+    #[test]
+    fn non_edge_send_is_rejected() {
+        let g = generators::path(5);
+        let exec = Executor::new(ExecutorConfig::default());
+        let err = exec.run(&g, &NonEdgeSender).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Model(CongestError::NotAnEdge { src: 0, dst: 4 })
+        );
+    }
+
+    /// A program that overloads one edge with two one-word messages.
+    struct DoubleSender;
+
+    impl NodeProgram for DoubleSender {
+        type State = ();
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) {}
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            _state: &mut (),
+            _inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            if ctx.id == 0 {
+                out.send(1, 1);
+                out.send(1, 2);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+            ctx.round >= 1
+        }
+    }
+
+    #[test]
+    fn bandwidth_overcommitment_is_rejected() {
+        let g = generators::path(3);
+        let exec = Executor::new(ExecutorConfig::default());
+        let err = exec.run(&g, &DoubleSender).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Model(CongestError::BandwidthExceeded { .. })
+        ));
+        // With two words of capacity the same program is legal.
+        let exec = Executor::new(ExecutorConfig {
+            capacity_words: 2,
+            ..ExecutorConfig::default()
+        });
+        exec.run(&g, &DoubleSender).unwrap();
+    }
+
+    /// A program that never halts.
+    struct Spinner;
+
+    impl NodeProgram for Spinner {
+        type State = ();
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) {}
+
+        fn round(
+            &self,
+            _ctx: &NodeCtx,
+            _state: &mut (),
+            _inbox: &[Envelope<u64>],
+            _out: &mut Outbox<'_, u64>,
+        ) {
+        }
+
+        fn halted(&self, _ctx: &NodeCtx, _state: &()) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_guards_non_halting_programs() {
+        let g = generators::path(3);
+        let exec = Executor::new(ExecutorConfig {
+            max_rounds: 10,
+            ..ExecutorConfig::default()
+        });
+        assert_eq!(
+            exec.run(&g, &Spinner).unwrap_err(),
+            RuntimeError::RoundLimit { limit: 10 }
+        );
+    }
+
+    #[test]
+    fn zero_word_messages_are_free() {
+        struct NullFlood;
+        impl NodeProgram for NullFlood {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                _ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<()>],
+                out: &mut Outbox<'_, ()>,
+            ) {
+                out.broadcast(());
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+                ctx.round >= 3
+            }
+        }
+        assert_eq!(().words(), 0);
+        let g = generators::star(6);
+        let exec = Executor::new(ExecutorConfig::default());
+        let run = exec.run(&g, &NullFlood).unwrap();
+        assert_eq!(run.rounds, 3);
+        assert_eq!(run.meter.max_words_on_edge(), 0);
+    }
+
+    #[test]
+    fn empty_graph_finishes_immediately() {
+        let g = mfd_graph::Graph::new(0);
+        let exec = Executor::new(ExecutorConfig::default());
+        let run = exec.run(&g, &FloodOnce).unwrap();
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.messages, 0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = generators::triangulated_grid(12, 12);
+        let run1 = Executor::new(ExecutorConfig::with_threads(1))
+            .run(&g, &FloodOnce)
+            .unwrap();
+        let run8 = Executor::new(ExecutorConfig::with_threads(8))
+            .run(&g, &FloodOnce)
+            .unwrap();
+        assert_eq!(run1.rounds, run8.rounds);
+        assert_eq!(run1.messages, run8.messages);
+        let seen1: Vec<u64> = run1.states.iter().map(|s| s.seen).collect();
+        let seen8: Vec<u64> = run8.states.iter().map(|s| s.seen).collect();
+        assert_eq!(seen1, seen8);
+    }
+
+    #[test]
+    fn per_vertex_rng_is_deterministic() {
+        let ctx = NodeCtx {
+            id: 3,
+            n: 10,
+            round: 5,
+            neighbors: &[],
+            seed: 42,
+        };
+        let a = ctx.rng().next_u64();
+        let b = ctx.rng().next_u64();
+        assert_eq!(a, b);
+        let other_round = NodeCtx { round: 6, ..ctx };
+        assert_ne!(a, other_round.rng().next_u64());
+    }
+}

@@ -1,0 +1,186 @@
+//! The node-program abstraction: per-vertex state, typed messages, and the
+//! per-round send interface.
+
+use mfd_congest::CongestError;
+use mfd_graph::properties::splitmix64;
+
+/// A message payload exchanged by a node program.
+///
+/// The CONGEST model allows O(log n) bits per edge per round; the meter counts
+/// in 64-bit words. [`RuntimeMessage::words`] declares how many words a payload
+/// occupies so the executor can charge (and police) bandwidth at send time.
+pub trait RuntimeMessage: Clone + Send + Sync + 'static {
+    /// Size of this message in 64-bit words (defaults to one word — a single
+    /// O(log n)-bit CONGEST message).
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl RuntimeMessage for u64 {}
+impl RuntimeMessage for u32 {}
+impl RuntimeMessage for usize {}
+impl RuntimeMessage for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+impl RuntimeMessage for (u64, u64) {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+/// Read-only per-vertex context handed to every [`NodeProgram`] callback.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx<'a> {
+    /// This vertex's index in `0..n`.
+    pub id: usize,
+    /// Number of vertices in the (sub)graph being executed.
+    pub n: usize,
+    /// Current round, starting at 1 (`0` during `init`).
+    pub round: u64,
+    /// Sorted neighbor list of this vertex.
+    pub neighbors: &'a [usize],
+    pub(crate) seed: u64,
+}
+
+impl NodeCtx<'_> {
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Deterministic per-vertex, per-round random generator.
+    ///
+    /// Seeded from `(executor seed, vertex id, round)`, so executions are
+    /// reproducible bit-for-bit regardless of thread count or scheduling.
+    pub fn rng(&self) -> NodeRng {
+        let mut state = splitmix64(self.seed);
+        state = splitmix64(state ^ self.id as u64);
+        state = splitmix64(state ^ self.round);
+        NodeRng { state }
+    }
+}
+
+/// Deterministic per-vertex random generator (SplitMix64, via the shared
+/// [`mfd_graph::properties::splitmix64`] mix).
+#[derive(Debug, Clone)]
+pub struct NodeRng {
+    state: u64,
+}
+
+impl NodeRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+/// A received message together with its sender.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending vertex.
+    pub src: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Per-round send buffer for one vertex.
+///
+/// Sends are validated **at send time**: a message to a non-neighbor is
+/// recorded as a [`CongestError::NotAnEdge`] model violation and the round
+/// fails (bandwidth overcommitment is caught when the round is submitted to
+/// the meter).
+#[derive(Debug)]
+pub struct Outbox<'a, M> {
+    src: usize,
+    neighbors: &'a [usize],
+    pub(crate) msgs: Vec<(usize, M, usize)>,
+    pub(crate) violation: Option<CongestError>,
+}
+
+impl<'a, M: RuntimeMessage> Outbox<'a, M> {
+    pub(crate) fn new(src: usize, neighbors: &'a [usize]) -> Self {
+        Outbox {
+            src,
+            neighbors,
+            msgs: Vec::new(),
+            violation: None,
+        }
+    }
+
+    /// Queues `msg` for delivery to `dst` at the start of the next round.
+    pub fn send(&mut self, dst: usize, msg: M) {
+        if self.neighbors.binary_search(&dst).is_err() {
+            if self.violation.is_none() {
+                self.violation = Some(CongestError::NotAnEdge { src: self.src, dst });
+            }
+            return;
+        }
+        let words = msg.words();
+        self.msgs.push((dst, msg, words));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        for &u in self.neighbors {
+            let words = msg.words();
+            self.msgs.push((u, msg.clone(), words));
+        }
+    }
+
+    /// Number of messages queued this round.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Returns `true` if nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// A round-synchronous distributed program, executed once per vertex.
+///
+/// The executor drives the standard CONGEST schedule: at round `r` every
+/// non-halted vertex receives the messages sent to it in round `r - 1`,
+/// updates its state, and queues messages for round `r + 1`. All vertices move
+/// in lockstep; there is no way to observe another vertex's state except
+/// through messages.
+pub trait NodeProgram: Sync {
+    /// Per-vertex state.
+    type State: Send + Sync;
+    /// Message payload type.
+    type Msg: RuntimeMessage;
+
+    /// Builds the initial state of a vertex (round 0, nothing received yet).
+    fn init(&self, ctx: &NodeCtx) -> Self::State;
+
+    /// Executes one synchronous round on one vertex: consume the `inbox`
+    /// (messages addressed to this vertex last round, in increasing sender
+    /// order), mutate `state`, and queue sends on `out`.
+    fn round(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut Self::State,
+        inbox: &[Envelope<Self::Msg>],
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// Returns `true` once the vertex has terminated. Halted vertices are no
+    /// longer scheduled and messages addressed to them are dropped; execution
+    /// stops when every vertex has halted.
+    fn halted(&self, ctx: &NodeCtx, state: &Self::State) -> bool;
+}

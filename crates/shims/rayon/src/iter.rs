@@ -1,0 +1,252 @@
+//! Parallel-iterator subset: `par_iter`, `par_iter_mut().enumerate()`, and
+//! `into_par_iter` on ranges, each supporting `map` followed by `collect` or
+//! `for_each`. Collected results are always in input order.
+
+use std::ops::Range;
+
+use crate::run_chunked;
+
+/// The rayon prelude: import the traits to get the `par_iter` family.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// `par_iter()` on shared slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+    /// Creates a parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter_mut()` on mutable slices and vectors.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Send + 'a;
+    /// Creates a parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type yielded by the parallel iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a shared slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f`.
+    pub fn map<R, F>(self, f: F) -> MapSlice<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MapSlice {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel slice iterator.
+pub struct MapSlice<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapSlice<'a, T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let items = self.items;
+        let f = &self.f;
+        run_chunked(items.len(), |range| {
+            items[range].iter().map(f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs the map in parallel for its side effects.
+    pub fn for_each<R>(self)
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        let _: Vec<R> = self.collect();
+    }
+}
+
+/// Parallel iterator over a mutable slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each element with its index, as in rayon's `enumerate`.
+    pub fn enumerate(self) -> ParIterMutEnum<'a, T> {
+        ParIterMutEnum { items: self.items }
+    }
+}
+
+/// Enumerated parallel iterator over a mutable slice.
+pub struct ParIterMutEnum<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnum<'a, T> {
+    /// Maps each `(index, &mut element)` pair through `f`.
+    pub fn map<R, F>(self, f: F) -> MapSliceMutEnum<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+    {
+        MapSliceMutEnum {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped, enumerated, mutable parallel slice iterator.
+pub struct MapSliceMutEnum<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> MapSliceMutEnum<'a, T, F> {
+    /// Runs the map in parallel (disjoint chunks of the mutable slice) and
+    /// collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let len = self.items.len();
+        let threads = crate::current_num_threads().max(1);
+        let f = &self.f;
+        if threads == 1 || len <= 1 {
+            return self
+                .items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f((i, item)))
+                .collect();
+        }
+        let chunk = len.div_ceil(threads);
+        let results: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, piece)| {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        piece
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(j, item)| f((base + j, item)))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f`.
+    pub fn map<R, F>(self, f: F) -> MapRange<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        MapRange {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel range iterator.
+pub struct MapRange<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> MapRange<F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let base = self.range.start;
+        let f = &self.f;
+        run_chunked(self.range.len(), |chunk| {
+            chunk.map(|i| f(base + i)).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .collect()
+    }
+}

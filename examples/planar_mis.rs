@@ -13,8 +13,14 @@ use mfd_graph::generators;
 
 fn main() {
     let instances = vec![
-        ("triangulated grid 16x16", generators::triangulated_grid(16, 16)),
-        ("random Apollonian n=400", generators::random_apollonian(400, 7)),
+        (
+            "triangulated grid 16x16",
+            generators::triangulated_grid(16, 16),
+        ),
+        (
+            "random Apollonian n=400",
+            generators::random_apollonian(400, 7),
+        ),
         ("wheel n=200", generators::wheel(200)),
         ("path n=500 (lower-bound family)", generators::path(500)),
     ];

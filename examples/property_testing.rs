@@ -14,18 +14,24 @@ fn main() {
 
     println!("=== planarity tester, ε = {epsilon} ===");
     let cases = vec![
-        ("triangulated grid 20x20 (planar)", generators::triangulated_grid(20, 20)),
-        ("random Apollonian n=500 (planar)", generators::random_apollonian(500, 3)),
         (
-            "Apollonian + 30% random chords (ε-far)",
-            {
-                let base = generators::random_apollonian(300, 3);
-                let chords = base.m() * 3 / 10;
-                generators::with_random_chords(&base, chords, 9)
-            },
+            "triangulated grid 20x20 (planar)",
+            generators::triangulated_grid(20, 20),
         ),
+        (
+            "random Apollonian n=500 (planar)",
+            generators::random_apollonian(500, 3),
+        ),
+        ("Apollonian + 30% random chords (ε-far)", {
+            let base = generators::random_apollonian(300, 3);
+            let chords = base.m() * 3 / 10;
+            generators::with_random_chords(&base, chords, 9)
+        }),
         ("complete graph K40 (very far)", generators::complete(40)),
-        ("4x4x... torus grid (genus 1)", generators::torus_grid(12, 12)),
+        (
+            "4x4x... torus grid (genus 1)",
+            generators::torus_grid(12, 12),
+        ),
     ];
     for (name, g) in cases {
         let outcome = test_property(&g, &Planarity, epsilon);
@@ -44,11 +50,19 @@ fn main() {
     let not_forest = generators::triangulated_grid(12, 12);
     println!(
         "  forest of two trees                      -> {}",
-        if test_property(&forest, &Forests, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+        if test_property(&forest, &Forests, epsilon).accepted {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
     );
     println!(
         "  triangulated grid                        -> {}",
-        if test_property(&not_forest, &Forests, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+        if test_property(&not_forest, &Forests, epsilon).accepted {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
     );
 
     println!("\n=== treewidth ≤ 2 tester, ε = {epsilon} ===");
@@ -56,10 +70,18 @@ fn main() {
     let dense = generators::k_tree(200, 4, 3);
     println!(
         "  random series-parallel graph             -> {}",
-        if test_property(&sp, &TreewidthAtMostTwo, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+        if test_property(&sp, &TreewidthAtMostTwo, epsilon).accepted {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
     );
     println!(
         "  random 4-tree                            -> {}",
-        if test_property(&dense, &TreewidthAtMostTwo, epsilon).accepted { "ACCEPT" } else { "REJECT" }
+        if test_property(&dense, &TreewidthAtMostTwo, epsilon).accepted {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
     );
 }

@@ -32,11 +32,26 @@ fn main() {
             decomposition.clustering.num_clusters()
         );
         println!("  max cluster diameter D      : {}", decomposition.diameter);
-        println!("  routing time T (rounds)     : {}", decomposition.routing_rounds);
-        println!("  construction rounds         : {}", decomposition.construction_rounds);
-        println!("  merge iterations            : {}", decomposition.iterations);
-        println!("  refinement passes           : {}", decomposition.refinements);
-        println!("  routing strategy            : {}", decomposition.routing_strategy);
+        println!(
+            "  routing time T (rounds)     : {}",
+            decomposition.routing_rounds
+        );
+        println!(
+            "  construction rounds         : {}",
+            decomposition.construction_rounds
+        );
+        println!(
+            "  merge iterations            : {}",
+            decomposition.iterations
+        );
+        println!(
+            "  refinement passes           : {}",
+            decomposition.refinements
+        );
+        println!(
+            "  routing strategy            : {}",
+            decomposition.routing_strategy
+        );
         println!("  total rounds charged        : {}", meter.rounds());
         println!("  total messages charged      : {}", meter.messages());
         assert!(decomposition.is_valid(&network));

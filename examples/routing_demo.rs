@@ -15,7 +15,12 @@ use mfd_routing::load_balance::LoadBalanceParams;
 use mfd_routing::walks::WalkParams;
 
 fn run_all(name: &str, g: &Graph, leader: usize) {
-    println!("\n=== {name}: n = {}, m = {}, leader degree = {} ===", g.n(), g.m(), g.degree(leader));
+    println!(
+        "\n=== {name}: n = {}, m = {}, leader degree = {} ===",
+        g.n(),
+        g.m(),
+        g.degree(leader)
+    );
     let strategies: Vec<(&str, GatherStrategy)> = vec![
         ("tree pipeline", GatherStrategy::TreePipeline),
         (

@@ -1,0 +1,20 @@
+//! Umbrella crate for the minor-free decomposition (MFD) workspace.
+//!
+//! Re-exports the library crates under one roof so downstream users (and the
+//! repo-level integration tests and examples) can depend on a single package:
+//!
+//! * [`graph`](mfd_graph) — graphs, generators, planarity, structural properties.
+//! * [`congest`](mfd_congest) — round/bandwidth accounting and metered primitives.
+//! * [`core`](mfd_core) — the paper's deterministic decompositions.
+//! * [`routing`](mfd_routing) — information-gathering strategies (§2).
+//! * [`runtime`](mfd_runtime) — the parallel round-synchronous execution engine.
+//! * [`apps`](mfd_apps) — applications (MIS, matching, cover, cut, testing).
+//! * [`bench`](mfd_bench) — benchmark workloads and table formatting.
+
+pub use mfd_apps as apps;
+pub use mfd_bench as bench;
+pub use mfd_congest as congest;
+pub use mfd_core as core;
+pub use mfd_graph as graph;
+pub use mfd_routing as routing;
+pub use mfd_runtime as runtime;

@@ -34,8 +34,12 @@ fn all_applications_produce_valid_outputs_on_one_planar_network() {
 #[test]
 fn mis_quality_against_exact_optimum_on_a_small_planar_graph() {
     let g = generators::triangulated_grid(6, 6);
-    let exact = solvers::maximum_independent_set(&g, 2_000_000).vertices.len();
-    let approx = approximate_mis(&g, &MisConfig::new(0.2)).independent_set.len();
+    let exact = solvers::maximum_independent_set(&g, 2_000_000)
+        .vertices
+        .len();
+    let approx = approximate_mis(&g, &MisConfig::new(0.2))
+        .independent_set
+        .len();
     assert!(
         approx as f64 >= (1.0 - 0.3) * exact as f64,
         "approx {approx} exact {exact}"
@@ -46,7 +50,9 @@ fn mis_quality_against_exact_optimum_on_a_small_planar_graph() {
 fn matching_quality_against_blossom_optimum() {
     let g = generators::triangulated_grid(9, 9);
     let opt = solvers::matching_edges(&solvers::maximum_matching(&g)).len();
-    let approx = approximate_maximum_matching(&g, &MatchingConfig::new(0.2)).matching.len();
+    let approx = approximate_maximum_matching(&g, &MatchingConfig::new(0.2))
+        .matching
+        .len();
     assert!(
         approx as f64 >= (1.0 - 0.4) * opt as f64,
         "approx {approx} opt {opt}"
@@ -72,7 +78,10 @@ fn property_tester_accepts_planar_and_rejects_far_instances() {
     let dense = generators::complete(40);
     let outcome = test_property(&dense, &Planarity, 0.2);
     assert!(!outcome.accepted);
-    assert_eq!(outcome.reason, Some(RejectReason::ArboricityCertificateFailed));
+    assert_eq!(
+        outcome.reason,
+        Some(RejectReason::ArboricityCertificateFailed)
+    );
 }
 
 #[test]
@@ -94,7 +103,9 @@ fn property_tester_on_disjoint_unions_uses_additivity() {
 fn approximation_rounds_do_not_explode_with_size() {
     let small = generators::triangulated_grid(8, 8);
     let large = generators::triangulated_grid(16, 16);
-    let rs = approximate_max_cut(&small, &MaxCutConfig::new(0.3)).rounds.max(1);
+    let rs = approximate_max_cut(&small, &MaxCutConfig::new(0.3))
+        .rounds
+        .max(1);
     let rl = approximate_max_cut(&large, &MaxCutConfig::new(0.3)).rounds;
     let n_ratio = (large.n() as f64) / (small.n() as f64);
     assert!(

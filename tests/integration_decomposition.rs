@@ -2,18 +2,23 @@
 //! CONGEST metering → routing → (ε, D, T)-decomposition, exercised end to end on the
 //! graph families the paper's theorems quantify over.
 
+use mfd_congest::RoundMeter;
 use mfd_core::edt::{build_edt, EdtConfig};
-use mfd_core::expander::{min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams};
+use mfd_core::expander::{
+    min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams,
+};
 use mfd_core::ldd::{chop_ldd, measure_ldd};
 use mfd_core::overlap::{overlap_expander_decomposition, OverlapParams};
-use mfd_congest::RoundMeter;
 use mfd_graph::{generators, planarity, Graph};
 use mfd_routing::gather::GatherStrategy;
 use mfd_routing::walks::WalkParams;
 
 fn planar_instances() -> Vec<(&'static str, Graph)> {
     vec![
-        ("triangulated-grid-12x12", generators::triangulated_grid(12, 12)),
+        (
+            "triangulated-grid-12x12",
+            generators::triangulated_grid(12, 12),
+        ),
         ("apollonian-300", generators::random_apollonian(300, 17)),
         ("grid-15x15", generators::grid(15, 15)),
         ("wheel-120", generators::wheel(120)),
@@ -42,13 +47,19 @@ fn edt_is_valid_on_every_planar_instance() {
     for (name, g) in planar_instances() {
         for epsilon in [0.4, 0.2] {
             let (d, meter) = build_edt(&g, &EdtConfig::new(epsilon));
-            assert!(d.is_valid(&g), "{name} eps {epsilon}: invalid decomposition");
+            assert!(
+                d.is_valid(&g),
+                "{name} eps {epsilon}: invalid decomposition"
+            );
             assert!(
                 d.epsilon_achieved <= epsilon + 1e-9,
                 "{name} eps {epsilon}: fraction {}",
                 d.epsilon_achieved
             );
-            assert!(d.clustering.all_clusters_connected(&g), "{name}: disconnected cluster");
+            assert!(
+                d.clustering.all_clusters_connected(&g),
+                "{name}: disconnected cluster"
+            );
             assert!(meter.rounds() > 0, "{name}: no rounds charged");
             assert!(
                 (d.min_delivered_fraction - 1.0).abs() < 1e-9,
@@ -79,8 +90,8 @@ fn edt_diameter_tracks_one_over_epsilon_on_large_thin_graphs() {
 #[test]
 fn edt_with_walk_schedule_routing_still_validates() {
     let g = generators::triangulated_grid(9, 9);
-    let config =
-        EdtConfig::new(0.3).with_routing_gather(GatherStrategy::WalkSchedule(WalkParams::default()));
+    let config = EdtConfig::new(0.3)
+        .with_routing_gather(GatherStrategy::WalkSchedule(WalkParams::default()));
     let (d, meter) = build_edt(&g, &config);
     assert!(d.epsilon_achieved <= 0.3 + 1e-9);
     assert!(d.routing_rounds > 0);

@@ -17,7 +17,10 @@ fn every_strategy_delivers_on_minor_free_expanders() {
     let g = generators::wheel(96);
     for (strategy, floor) in [
         (GatherStrategy::TreePipeline, 1.0),
-        (GatherStrategy::LoadBalance(LoadBalanceParams::default()), 0.9),
+        (
+            GatherStrategy::LoadBalance(LoadBalanceParams::default()),
+            0.9,
+        ),
         (GatherStrategy::WalkSchedule(WalkParams::default()), 0.8),
     ] {
         let mut meter = RoundMeter::new();
