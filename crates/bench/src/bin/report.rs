@@ -22,10 +22,14 @@ use mfd_core::expander::{
 };
 use mfd_core::ldd::{chop_ldd, measure_ldd, region_growing_ldd};
 use mfd_core::overlap::{overlap_expander_decomposition, OverlapParams};
+use mfd_core::programs::{BfsProgram, ColeVishkinProgram, VoronoiLddProgram};
 use mfd_graph::generators;
+use mfd_graph::properties::splitmix64;
 use mfd_routing::gather::{gather_to_leader, GatherStrategy};
 use mfd_routing::load_balance::LoadBalanceParams;
 use mfd_routing::walks::WalkParams;
+use mfd_runtime::{Executor, ExecutorConfig, NodeProgram};
+use mfd_sim::{LatencyModel, SimConfig, Simulator};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +67,9 @@ fn main() {
     }
     if want("ablations") {
         ablations_report();
+    }
+    if want("runtime") {
+        runtime_report();
     }
 }
 
@@ -494,4 +501,158 @@ fn ablations_report() {
         ]);
     }
     table.print();
+}
+
+/// One engine/graph/program measurement destined for `BENCH_runtime.json`.
+struct RuntimeRow {
+    engine: &'static str,
+    latency: Option<&'static str>,
+    graph: String,
+    n: usize,
+    m: usize,
+    program: &'static str,
+    rounds: u64,
+    messages: u64,
+    makespan: Option<u64>,
+}
+
+impl RuntimeRow {
+    fn to_json(&self) -> String {
+        let latency = match self.latency {
+            Some(l) => format!("\"{l}\""),
+            None => "null".to_string(),
+        };
+        let makespan = match self.makespan {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"engine\":\"{}\",\"latency\":{},\"graph\":\"{}\",\"n\":{},\"m\":{},\
+             \"program\":\"{}\",\"rounds\":{},\"messages\":{},\"makespan\":{}}}",
+            self.engine,
+            latency,
+            self.graph,
+            self.n,
+            self.m,
+            self.program,
+            self.rounds,
+            self.messages,
+            makespan
+        )
+    }
+}
+
+/// Runs `program` under the synchronous executor and the simulator's latency
+/// models, appending one row per engine.
+fn run_engines<P: NodeProgram>(
+    g: &mfd_graph::Graph,
+    program: &P,
+    graph_name: &str,
+    prog_name: &'static str,
+    rows: &mut Vec<RuntimeRow>,
+) {
+    let cfg = ExecutorConfig::default();
+    let sync = Executor::new(cfg.clone())
+        .run(g, program)
+        .expect("program is model-compliant");
+    rows.push(RuntimeRow {
+        engine: "executor",
+        latency: None,
+        graph: graph_name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        program: prog_name,
+        rounds: sync.rounds,
+        messages: sync.messages,
+        makespan: None,
+    });
+    let latencies: [(&'static str, LatencyModel); 3] = [
+        ("fixed-1", LatencyModel::Fixed(1)),
+        ("uniform-1-5", LatencyModel::Uniform { lo: 1, hi: 5 }),
+        (
+            "heavy-tail-1.2-cap64",
+            LatencyModel::HeavyTail {
+                min: 1,
+                alpha: 1.2,
+                cap: 64,
+            },
+        ),
+    ];
+    for (name, latency) in latencies {
+        let run = Simulator::new(SimConfig::matching(&cfg, latency))
+            .run(g, program)
+            .expect("program is model-compliant");
+        // Engine invariance holds on connected workloads (all of
+        // runtime_report's families); on disconnected graphs the frontier
+        // executor may stop before the simulator's unreachability timeouts.
+        assert_eq!(run.rounds, sync.rounds, "latency must not change rounds");
+        assert_eq!(run.messages, sync.messages);
+        rows.push(RuntimeRow {
+            engine: "sim",
+            latency: Some(name),
+            graph: graph_name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            program: prog_name,
+            rounds: run.rounds,
+            messages: run.messages,
+            makespan: Some(run.makespan),
+        });
+    }
+}
+
+/// R1 — the engine comparison series: rounds/messages/makespan per engine,
+/// latency model, graph family and program, printed as a table and written to
+/// `BENCH_runtime.json` for CI and downstream tooling.
+fn runtime_report() {
+    let families = [
+        ("tri-grid-16x16", generators::triangulated_grid(16, 16)),
+        ("wheel-256", generators::wheel(256)),
+        ("hypercube-8", generators::hypercube(8)),
+    ];
+    let mut rows: Vec<RuntimeRow> = Vec::new();
+    for (name, g) in &families {
+        run_engines(g, &BfsProgram { root: 0 }, name, "bfs", &mut rows);
+
+        let mut meter = RoundMeter::new();
+        let tree = mfd_congest::primitives::build_bfs_tree(g, None, 0, &mut meter);
+        let id: Vec<u64> = (0..g.n() as u64).map(splitmix64).collect();
+        let cv = ColeVishkinProgram::new(tree.parent.clone(), id);
+        run_engines(g, &cv, name, "cole-vishkin", &mut rows);
+
+        let centers: Vec<usize> = (0..8).map(|i| (i * g.n()) / 8).collect();
+        let voronoi = VoronoiLddProgram::new(g.n(), &centers);
+        run_engines(g, &voronoi, name, "voronoi-ldd-8", &mut rows);
+    }
+
+    let mut table = Table::new(
+        "R1 — execution engines: synchronous rounds vs simulated makespan \
+         (rounds and messages are engine-invariant)",
+        &[
+            "graph", "program", "engine", "latency", "rounds", "messages", "makespan",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.graph.clone(),
+            r.program.to_string(),
+            r.engine.to_string(),
+            r.latency.unwrap_or("-").to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            r.makespan.map_or("-".to_string(), |t| t.to_string()),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/runtime/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(RuntimeRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_runtime.json";
+    std::fs::write(path, json).expect("write BENCH_runtime.json");
+    println!("wrote {path} ({} series)", rows.len());
 }

@@ -245,6 +245,16 @@ impl NodeProgram for BfsProgram {
     fn halted(&self, _ctx: &NodeCtx, state: &BfsState) -> bool {
         state.done
     }
+
+    /// A vertex the wave has not reached yet is pure frontier-waiting: with
+    /// an empty inbox its round is a no-op, so the executor may skip it. The
+    /// `round > n` unreachability timeout is deliberately not encoded here —
+    /// if the whole residual graph is waiting, the executor's fixpoint break
+    /// ends the run with the same public outputs (no depth, no parent) the
+    /// timeout would eventually produce.
+    fn quiescent(&self, _ctx: &NodeCtx, state: &BfsState) -> bool {
+        state.depth.is_none()
+    }
 }
 
 /// Result of a distributed BFS run: per-vertex parents and depths in the same
@@ -411,6 +421,13 @@ impl NodeProgram for VoronoiLddProgram {
     fn halted(&self, _ctx: &NodeCtx, state: &VoronoiState) -> bool {
         state.done
     }
+
+    /// Unassigned vertices wait for the first wave to arrive; skipping them
+    /// on an empty inbox is a no-op (see [`BfsProgram::quiescent`] for the
+    /// treatment of the unreachability timeout).
+    fn quiescent(&self, _ctx: &NodeCtx, state: &VoronoiState) -> bool {
+        state.center.is_none()
+    }
 }
 
 /// Runs [`VoronoiLddProgram`] and packages the result as a [`Clustering`]
@@ -495,6 +512,91 @@ mod tests {
         let (dist, meter) = run_voronoi_ldd(&g, &centers, &executor()).unwrap();
         assert_eq!(dist, voronoi_ldd(&g, &centers));
         assert!(meter.rounds() <= g.n() as u64 + 1);
+    }
+
+    /// Cross-engine harness: the asynchronous simulator with unit latency
+    /// must reproduce the synchronous executor **bit for bit** — every field
+    /// of every per-vertex state, including the private protocol flags —
+    /// for all three ported programs on all three acceptance families.
+    #[test]
+    fn simulator_with_unit_latency_matches_executor_bit_for_bit() {
+        use mfd_sim::{run_both, LatencyModel};
+        let cfg = ExecutorConfig::default();
+        for g in [
+            generators::triangulated_grid(8, 8),
+            generators::wheel(40),
+            generators::hypercube(6),
+        ] {
+            // Cole–Vishkin forest 3-colouring.
+            let parent = spanning_forest(&g);
+            let id: Vec<u64> = (0..g.n() as u64).map(splitmix64).collect();
+            let cv = ColeVishkinProgram::new(parent, id);
+            let (sync, sim) = run_both(&g, &cv, &cfg, LatencyModel::Fixed(1)).unwrap();
+            let key = |s: &CvState| (s.color, s.old_color, s.done);
+            assert!(sync
+                .states
+                .iter()
+                .zip(&sim.states)
+                .all(|(a, b)| key(a) == key(b)));
+            assert_eq!(sync.rounds, sim.rounds);
+            assert_eq!(sync.messages, sim.messages);
+            assert_eq!(
+                sync.meter.max_words_on_edge(),
+                sim.meter.max_words_on_edge()
+            );
+
+            // BFS-tree flooding.
+            let (sync, sim) =
+                run_both(&g, &BfsProgram { root: 0 }, &cfg, LatencyModel::Fixed(1)).unwrap();
+            let key = |s: &BfsState| (s.depth, s.parent, s.announced, s.done);
+            assert!(sync
+                .states
+                .iter()
+                .zip(&sim.states)
+                .all(|(a, b)| key(a) == key(b)));
+            assert_eq!(sync.rounds, sim.rounds);
+            assert_eq!(sync.messages, sim.messages);
+
+            // Multi-source Voronoi LDD assignment.
+            let centers = [0, g.n() / 3, (2 * g.n()) / 3];
+            let voronoi = VoronoiLddProgram::new(g.n(), &centers);
+            let (sync, sim) = run_both(&g, &voronoi, &cfg, LatencyModel::Fixed(1)).unwrap();
+            let key = |s: &VoronoiState| (s.center, s.dist, s.announced, s.done);
+            assert!(sync
+                .states
+                .iter()
+                .zip(&sim.states)
+                .all(|(a, b)| key(a) == key(b)));
+            assert_eq!(sync.rounds, sim.rounds);
+            assert_eq!(sync.messages, sim.messages);
+        }
+    }
+
+    /// The α-synchronizer must preserve the programs' synchronous semantics
+    /// under arbitrary message delays: heavy-tailed stragglers stretch the
+    /// makespan but never change what is computed or how many protocol
+    /// rounds it takes.
+    #[test]
+    fn heavy_tail_latency_changes_time_not_results() {
+        use mfd_sim::{run_both, LatencyModel};
+        let g = generators::triangulated_grid(8, 8);
+        let cfg = ExecutorConfig::default();
+        let latency = LatencyModel::HeavyTail {
+            min: 1,
+            alpha: 1.2,
+            cap: 64,
+        };
+        let (sync, sim) = run_both(&g, &BfsProgram { root: 0 }, &cfg, latency).unwrap();
+        let key = |s: &BfsState| (s.depth, s.parent, s.announced, s.done);
+        assert!(sync
+            .states
+            .iter()
+            .zip(&sim.states)
+            .all(|(a, b)| key(a) == key(b)));
+        assert_eq!(sync.rounds, sim.rounds);
+        assert_eq!(sync.messages, sim.messages);
+        // Stragglers make the virtual clock run past the round count.
+        assert!(sim.makespan >= sim.rounds - 1);
     }
 
     #[test]

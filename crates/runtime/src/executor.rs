@@ -6,7 +6,8 @@ use mfd_congest::{CongestError, Message, RoundMeter};
 use mfd_graph::Graph;
 use rayon::prelude::*;
 
-use crate::program::{Envelope, NodeCtx, NodeProgram, Outbox};
+use crate::driver::{self, VertexRound};
+use crate::program::{Envelope, NodeCtx, NodeProgram};
 
 /// Configuration for an [`Executor`].
 #[derive(Debug, Clone)]
@@ -84,13 +85,19 @@ pub struct Execution<S> {
 
 /// A deterministic, data-parallel, round-synchronous CONGEST engine.
 ///
-/// Each round, every non-halted vertex is run (in parallel across a
+/// Each round, every *active* vertex is run (in parallel across a
 /// configurable number of threads), its sends are collected into
 /// double-buffered mailboxes, and the complete round is submitted to a
 /// [`RoundMeter`], which rejects any round the CONGEST model would not allow.
 /// Executions are bit-for-bit deterministic in the thread count: vertex
 /// results are committed in vertex order and per-vertex RNG streams are seeded
 /// from `(seed, vertex, round)`, never from scheduling.
+///
+/// Scheduling is frontier-aware: a non-halted vertex whose inbox is empty and
+/// whose program declares it [`NodeProgram::quiescent`] is skipped, so
+/// wave-style programs pay per round for their frontier rather than for the
+/// whole graph. If a round's active set is empty the system is at a fixpoint
+/// (nothing in flight, no state can change) and the run ends there.
 #[derive(Debug, Default)]
 pub struct Executor {
     config: ExecutorConfig,
@@ -138,23 +145,9 @@ impl Executor {
     ) -> Result<Execution<P::State>, RuntimeError> {
         let n = g.n();
         let seed = self.config.seed;
-        // Sorted adjacency enables O(log deg) neighbor checks at send time.
-        let sorted_adj: Vec<Vec<usize>> = (0..n)
-            .into_par_iter()
-            .map(|v| {
-                let mut a = g.neighbors(v).to_vec();
-                a.sort_unstable();
-                a
-            })
-            .collect();
+        let sorted_adj = driver::sorted_adjacency(g);
 
-        let ctx_at = |v: usize, round: u64| NodeCtx {
-            id: v,
-            n,
-            round,
-            neighbors: &sorted_adj[v],
-            seed,
-        };
+        let ctx_at = |v: usize, round: u64| NodeCtx::new(v, n, round, &sorted_adj[v], seed);
 
         let mut states: Vec<P::State> = (0..n)
             .into_par_iter()
@@ -174,34 +167,44 @@ impl Executor {
         let mut round: u64 = 0;
         while !halted.iter().all(|&h| h) {
             round += 1;
+            // The round's active set: every non-halted vertex with something
+            // to read, or one whose program wants the round regardless
+            // (non-quiescent). An empty active set is a fixpoint — nothing in
+            // flight, no state can ever change — and ends the run *before*
+            // the round-budget check: a run whose work fit the budget must
+            // not fail merely because detecting the fixpoint takes one more
+            // loop iteration.
+            let active: Vec<bool> = (0..n)
+                .into_par_iter()
+                .map(|v| {
+                    !halted[v]
+                        && (!inbox[v].is_empty()
+                            || !program.quiescent(&ctx_at(v, round), &states[v]))
+                })
+                .collect();
+            if !active.iter().any(|&a| a) {
+                break;
+            }
             if round > self.config.max_rounds {
                 return Err(RuntimeError::RoundLimit {
                     limit: self.config.max_rounds,
                 });
             }
-            // Parallel vertex sweep: run every non-halted vertex.
-            type RoundOut<M> = Option<(Vec<(usize, M, usize)>, bool, Option<CongestError>)>;
-            let halted_ref = &halted;
+            // Parallel vertex sweep over the active set. Skipped vertices
+            // cost one quiescence check instead of an outbox and a program
+            // call.
+            let active_ref = &active;
             let inbox_ref = &inbox;
             let adj = &sorted_adj;
-            let outs: Vec<RoundOut<P::Msg>> = states
+            let outs: Vec<Option<VertexRound<P::Msg>>> = states
                 .par_iter_mut()
                 .enumerate()
                 .map(|(v, state)| {
-                    if halted_ref[v] {
+                    if !active_ref[v] {
                         return None;
                     }
-                    let ctx = NodeCtx {
-                        id: v,
-                        n,
-                        round,
-                        neighbors: &adj[v],
-                        seed,
-                    };
-                    let mut out = Outbox::new(v, &adj[v]);
-                    program.round(&ctx, state, &inbox_ref[v], &mut out);
-                    let now_halted = program.halted(&ctx, state);
-                    Some((out.msgs, now_halted, out.violation))
+                    let ctx = NodeCtx::new(v, n, round, &adj[v], seed);
+                    Some(driver::step_vertex(program, &ctx, state, &inbox_ref[v]))
                 })
                 .collect();
 
@@ -213,14 +216,19 @@ impl Executor {
             let mut round_msgs: Vec<Message> = Vec::new();
             let mut send_violation: Option<CongestError> = None;
             for (v, out) in outs.into_iter().enumerate() {
-                let Some((msgs, now_halted, violation)) = out else {
+                let Some(VertexRound {
+                    sends,
+                    halted: now_halted,
+                    violation,
+                }) = out
+                else {
                     continue;
                 };
                 if let (None, Some(err)) = (&send_violation, violation) {
                     send_violation = Some(err);
                 }
                 halted[v] = now_halted;
-                for (dst, msg, words) in msgs {
+                for (dst, msg, words) in sends {
                     round_msgs.push(Message { src: v, dst, words });
                     next_inbox[dst].push(Envelope { src: v, msg });
                 }
@@ -244,7 +252,7 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::RuntimeMessage;
+    use crate::program::{Outbox, RuntimeMessage};
     use mfd_graph::generators;
 
     /// Every vertex floods a token once; counts distinct tokens seen.
@@ -465,6 +473,102 @@ mod tests {
         let seen1: Vec<u64> = run1.states.iter().map(|s| s.seen).collect();
         let seen8: Vec<u64> = run8.states.iter().map(|s| s.seen).collect();
         assert_eq!(seen1, seen8);
+    }
+
+    /// A wave: vertex 0 floods a token, everyone else waits for it, forwards
+    /// it once and halts. With `frontier` set, waiting vertices declare
+    /// themselves quiescent so the executor skips them.
+    struct Wave {
+        frontier: bool,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct WaveState {
+        hop: Option<u64>,
+        announced: bool,
+    }
+
+    impl NodeProgram for Wave {
+        type State = WaveState;
+        type Msg = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> WaveState {
+            WaveState {
+                hop: (ctx.id == 0).then_some(0),
+                announced: false,
+            }
+        }
+
+        fn round(
+            &self,
+            _ctx: &NodeCtx,
+            state: &mut WaveState,
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            if state.hop.is_none() {
+                if let Some(first) = inbox.first() {
+                    state.hop = Some(first.msg + 1);
+                }
+            }
+            if let Some(h) = state.hop {
+                if !state.announced {
+                    out.broadcast(h);
+                    state.announced = true;
+                }
+            }
+        }
+
+        fn halted(&self, _ctx: &NodeCtx, state: &WaveState) -> bool {
+            state.announced
+        }
+
+        fn quiescent(&self, _ctx: &NodeCtx, state: &WaveState) -> bool {
+            self.frontier && state.hop.is_none()
+        }
+    }
+
+    #[test]
+    fn frontier_scheduling_preserves_outputs_and_accounting() {
+        let g = generators::triangulated_grid(10, 10);
+        let exec = Executor::new(ExecutorConfig::default());
+        let dense = exec.run(&g, &Wave { frontier: false }).unwrap();
+        let sparse = exec.run(&g, &Wave { frontier: true }).unwrap();
+        assert_eq!(dense.states, sparse.states);
+        assert_eq!(dense.rounds, sparse.rounds);
+        assert_eq!(dense.messages, sparse.messages);
+    }
+
+    #[test]
+    fn all_quiescent_fixpoint_ends_the_run() {
+        // Two components; the wave never reaches the second one. Without the
+        // fixpoint break the unreached vertices (never halting, never
+        // receiving) would spin until the round limit.
+        let g = generators::path(4).disjoint_union(&generators::path(3));
+        let exec = Executor::new(ExecutorConfig {
+            max_rounds: 50,
+            ..ExecutorConfig::default()
+        });
+        let run = exec.run(&g, &Wave { frontier: true }).unwrap();
+        assert!(run.states[..4].iter().all(|s| s.hop.is_some()));
+        assert!(run.states[4..].iter().all(|s| s.hop.is_none()));
+        // The wave crosses the path in 4 rounds; the fixpoint round is not
+        // charged.
+        assert_eq!(run.rounds, 4);
+    }
+
+    #[test]
+    fn fixpoint_within_exact_round_budget_is_not_a_round_limit_error() {
+        // All state changes finish in exactly 4 charged rounds; detecting
+        // the fixpoint takes one more loop iteration, which must not trip
+        // the budget.
+        let g = generators::path(4).disjoint_union(&generators::path(3));
+        let exec = Executor::new(ExecutorConfig {
+            max_rounds: 4,
+            ..ExecutorConfig::default()
+        });
+        let run = exec.run(&g, &Wave { frontier: true }).unwrap();
+        assert_eq!(run.rounds, 4);
     }
 
     #[test]

@@ -24,6 +24,15 @@
 //!   vertex-disjoint clusters concurrently and folds the per-cluster meters
 //!   with `merge_parallel` (max of rounds, sum of messages), matching the
 //!   paper's convention for parallel subroutines.
+//! * **Frontier-aware scheduling.** Programs can declare quiescence
+//!   ([`NodeProgram::quiescent`]); the executor then skips sleeping vertices
+//!   and ends the run at a global fixpoint, so wave-style programs pay per
+//!   round for their frontier, not for the whole graph.
+//!
+//! The per-vertex driving logic (inbox contract, validated sends, halting) is
+//! factored into [`driver`] and shared with the asynchronous discrete-event
+//! simulator in `mfd-sim`, which runs the same unmodified [`NodeProgram`]s
+//! under per-edge message latencies behind an α-synchronizer.
 //!
 //! Algorithm ports (Cole–Vishkin forest colouring, BFS-tree construction,
 //! multi-source low-diameter clustering) live in `mfd_core::programs`, next to
@@ -71,9 +80,11 @@
 //! ```
 
 pub mod cluster;
+pub mod driver;
 pub mod executor;
 pub mod program;
 
 pub use cluster::{run_on_clusters, ClusterExecution};
+pub use driver::VertexRound;
 pub use executor::{Execution, Executor, ExecutorConfig, RuntimeError};
 pub use program::{Envelope, NodeCtx, NodeProgram, NodeRng, Outbox, RuntimeMessage};

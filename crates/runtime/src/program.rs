@@ -45,7 +45,24 @@ pub struct NodeCtx<'a> {
     pub(crate) seed: u64,
 }
 
-impl NodeCtx<'_> {
+impl<'a> NodeCtx<'a> {
+    /// Builds a context for one vertex at one round.
+    ///
+    /// Intended for execution-engine implementors (the synchronous
+    /// [`crate::Executor`], the asynchronous `mfd-sim` simulator); programs
+    /// receive ready-made contexts. Engines sharing a `seed` hand programs
+    /// identical randomness, which is what makes cross-engine differential
+    /// validation bit-for-bit.
+    pub fn new(id: usize, n: usize, round: u64, neighbors: &'a [usize], seed: u64) -> Self {
+        NodeCtx {
+            id,
+            n,
+            round,
+            neighbors,
+            seed,
+        }
+    }
+
     /// Degree of this vertex.
     pub fn degree(&self) -> usize {
         self.neighbors.len()
@@ -71,20 +88,42 @@ pub struct NodeRng {
 }
 
 impl NodeRng {
+    /// Creates a generator from a raw seed.
+    ///
+    /// Engines derive stream seeds from a [`splitmix64`] chain over whatever
+    /// identifies the stream (vertex and round for [`NodeCtx::rng`]; edge and
+    /// round for latency sampling in `mfd-sim`).
+    pub fn from_seed(seed: u64) -> Self {
+        NodeRng { state: seed }
+    }
+
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = splitmix64(self.state);
         self.state
     }
 
-    /// Uniform value in `0..bound`.
+    /// Uniform value in `0..bound`, without modulo bias.
+    ///
+    /// Draws are rejected until one lands below the largest multiple of
+    /// `bound` representable in a `u64`, so every residue is exactly equally
+    /// likely. At most one draw is rejected in expectation (the acceptance
+    /// zone always covers more than half of the 64-bit range).
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.next_u64() % bound
+        // 2^64 mod bound: the count of values past the largest multiple of
+        // `bound`; drawing from them would over-represent the low residues.
+        let excess = (u64::MAX % bound).wrapping_add(1) % bound;
+        loop {
+            let x = self.next_u64();
+            if x <= u64::MAX - excess {
+                return x % bound;
+            }
+        }
     }
 }
 
@@ -183,4 +222,83 @@ pub trait NodeProgram: Sync {
     /// longer scheduled and messages addressed to them are dropped; execution
     /// stops when every vertex has halted.
     fn halted(&self, ctx: &NodeCtx, state: &Self::State) -> bool;
+
+    /// Declares that running this vertex with an **empty inbox** would be a
+    /// no-op: no state change, no sends, no halting transition.
+    ///
+    /// The synchronous [`crate::Executor`] uses this for frontier-aware
+    /// scheduling: quiescent vertices with nothing to read are skipped, so a
+    /// wave-style program (BFS, Voronoi flooding) pays per round only for its
+    /// frontier. When *every* live vertex is skipped the system has reached a
+    /// fixpoint — nothing is in flight and no state can ever change — and the
+    /// executor ends the run there.
+    ///
+    /// The default (`false`) schedules every non-halted vertex every round,
+    /// which is always correct. Programs overriding this must either
+    /// guarantee the no-op property for every round at which they return
+    /// `true`, or knowingly accept that a round-triggered transition on an
+    /// empty inbox (a timeout such as "halt once `round > n`") may never
+    /// fire because the executor ends the run at the fixpoint first. The
+    /// latter is a deliberate semantic trade and only acceptable when the
+    /// skipped transition cannot change public outputs — the BFS/Voronoi
+    /// unreachability timeouts are the canonical example — and it makes
+    /// round counts diverge from engines without frontier scheduling (the
+    /// `mfd-sim` synchronizer) on inputs where the fixpoint is reached.
+    fn quiescent(&self, ctx: &NodeCtx, state: &Self::State) -> bool {
+        let _ = (ctx, state);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_stays_in_range_and_is_deterministic() {
+        let mut a = NodeRng::from_seed(7);
+        let mut b = NodeRng::from_seed(7);
+        for bound in [1, 2, 3, 1000, u64::MAX / 2 + 1, u64::MAX] {
+            for _ in 0..64 {
+                let x = a.below(bound);
+                assert!(x < bound);
+                assert_eq!(x, b.below(bound));
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_across_buckets() {
+        // A plain `next_u64() % bound` with bound = 2^63 + 1 maps the whole
+        // upper half of the 64-bit range onto the low residues, giving values
+        // below 2^63 - 1 twice the probability mass. Rejection sampling must
+        // keep every bucket of a small bound uniform instead.
+        let mut rng = NodeRng::from_seed(0xD157);
+        let bound = 5u64;
+        let samples = 50_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..samples {
+            counts[rng.below(bound) as usize] += 1;
+        }
+        let expected = samples / bound;
+        for (residue, &c) in counts.iter().enumerate() {
+            let deviation = c.abs_diff(expected);
+            assert!(
+                deviation < expected / 10,
+                "residue {residue} saw {c} of {samples} samples (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn below_rejects_overrepresented_draws() {
+        // With bound 2^63 + 1 the acceptance zone is exactly 2^63 + 1 values;
+        // roughly half of all draws are rejected, and every accepted value is
+        // returned unchanged (x % bound == x for x <= 2^63).
+        let bound = (1u64 << 63) + 1;
+        let mut rng = NodeRng::from_seed(42);
+        for _ in 0..256 {
+            assert!(rng.below(bound) < bound);
+        }
+    }
 }

@@ -1,0 +1,80 @@
+//! Simulation reports: virtual-time results and synchronizer-overhead
+//! statistics, presented next to the same [`RoundMeter`] accounting the
+//! synchronous engine produces so the two are directly comparable.
+
+use mfd_congest::RoundMeter;
+
+/// Result of a completed asynchronous simulation.
+///
+/// The program-level accounting (`rounds`, `messages`, `meter`) is
+/// reconstructed from the synchronizer's round tags, so for a given program
+/// and seed it matches what the synchronous [`mfd_runtime::Executor`] reports
+/// — latency models change *when* things happen (`makespan`, `completion`,
+/// congestion peaks), never *what* the program computes.
+#[derive(Debug)]
+pub struct SimExecution<S> {
+    /// Final state of every vertex.
+    pub states: Vec<S>,
+    /// Meter fed with the reconstructed synchronous rounds: same round,
+    /// message and bandwidth accounting as the synchronous engine.
+    pub meter: RoundMeter,
+    /// Protocol rounds executed (the highest pulse any vertex ran; equals
+    /// `meter.rounds()`).
+    pub rounds: u64,
+    /// Program messages delivered (equals `meter.messages()`).
+    pub messages: u64,
+    /// Simulated time at which the last vertex halted.
+    pub makespan: u64,
+    /// Simulated time at which each vertex executed its final round (its
+    /// halting time; 0 for vertices halted at initialization).
+    pub completion: Vec<u64>,
+    /// Synchronizer and congestion statistics.
+    pub stats: SimStats,
+}
+
+/// What the α-synchronizer spent to preserve round semantics, plus link
+/// congestion observed along the way.
+///
+/// Every live vertex sends one packet per neighbor per pulse — the packet
+/// either carries the program's payload for that edge or is a pure
+/// ready/halt pulse. The pure pulses *are* the synchronizer overhead: a
+/// genuinely asynchronous algorithm would not pay for them.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total synchronizer packets sent (payload-carrying + pure pulses).
+    pub packets: u64,
+    /// Packets that carried at least one program message.
+    pub payload_packets: u64,
+    /// Packets that carried nothing but the ready/halt pulse.
+    pub pure_pulses: u64,
+    /// Program messages carried inside payload packets (equals
+    /// [`SimExecution::messages`]).
+    pub payload_messages: u64,
+    /// Packets that arrived at an already-halted vertex and were dropped
+    /// (their synchronous counterparts are likewise never read).
+    pub dropped_packets: u64,
+    /// Peak number of packets simultaneously in flight across the network.
+    pub peak_in_flight: usize,
+    /// Undirected edges `(u, v)` with `u < v`, aligned with
+    /// [`SimStats::edge_in_flight_peak`].
+    pub edges: Vec<(usize, usize)>,
+    /// Peak packets simultaneously in flight per edge (both directions
+    /// combined) — the per-edge congestion profile of the run.
+    pub edge_in_flight_peak: Vec<usize>,
+}
+
+impl SimStats {
+    /// Fraction of packets that were pure synchronizer overhead.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.pure_pulses as f64 / self.packets as f64
+        }
+    }
+
+    /// The most congested edge's in-flight peak (0 on an edgeless graph).
+    pub fn max_edge_in_flight(&self) -> usize {
+        self.edge_in_flight_peak.iter().copied().max().unwrap_or(0)
+    }
+}

@@ -1,0 +1,924 @@
+//! The discrete-event engine and its α-synchronizer.
+//!
+//! # How the synchronizer works
+//!
+//! The simulated network is asynchronous: a message sent along an edge
+//! arrives after a delay drawn from the run's [`LatencyModel`]. To execute an
+//! unmodified round-synchronous [`NodeProgram`] on such a network the engine
+//! wraps every vertex in an α-synchronizer (Awerbuch's simplest form,
+//! specialized to reliable links):
+//!
+//! * When vertex `v` executes its local round `r` it sends **one packet to
+//!   every neighbor**, tagged `r`, carrying the program's round-`r` messages
+//!   for that edge (possibly none). A packet with no payload is a pure
+//!   *ready pulse*; because links are reliable, the pulse doubles as the
+//!   acknowledgement of everything sent earlier on the edge.
+//! * Vertex `v` may execute round `r + 1` once it holds a tag-`r` packet from
+//!   every live neighbor — at that point it provably has every round-`r`
+//!   program message addressed to it, so the synchronous inbox contract is
+//!   preserved under arbitrary delays. Local round counters of adjacent
+//!   vertices therefore never drift by more than one.
+//! * A halting vertex marks its final packet (and a vertex halted at
+//!   initialization announces itself with a tag-0 pulse), so neighbors stop
+//!   waiting for rounds it will never run.
+//!
+//! Events are packet arrivals, ordered by a binary heap keyed on
+//! `(time, seq)`. All arrivals at one tick are buffered before any vertex
+//! executes, so results do not depend on how equal-time events are ordered —
+//! [`TieBreak`] exists to let tests *prove* that. Latencies are pure
+//! functions of `(seed, edge, round)`, making whole runs bit-for-bit
+//! reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use mfd_congest::{Message, RoundMeter};
+use mfd_graph::Graph;
+use mfd_runtime::driver::{self, VertexRound};
+use mfd_runtime::{
+    Envelope, Execution, Executor, ExecutorConfig, NodeCtx, NodeProgram, RuntimeError,
+};
+
+use crate::latency::LatencyModel;
+use crate::report::{SimExecution, SimStats};
+
+/// Order of equal-time event processing — observable nowhere, by design.
+///
+/// The engine buffers every arrival of a tick before running any vertex, and
+/// vertices executing at the same tick cannot affect each other (their sends
+/// arrive at least one tick later), so both orders produce identical results.
+/// Tests run both to certify that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Process equal-time events and ready vertices in insertion/index order.
+    #[default]
+    InsertionOrder,
+    /// Process them in reversed order.
+    ReverseInsertion,
+}
+
+/// Configuration of a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-edge message delay distribution.
+    pub latency: LatencyModel,
+    /// Seed for program randomness ([`NodeCtx::rng`]) *and* latency sampling
+    /// (separated internally by stream salts). Matching an
+    /// [`ExecutorConfig::seed`] hands programs identical randomness under
+    /// both engines.
+    pub seed: u64,
+    /// Upper bound on any vertex's local round count before the run is
+    /// aborted with [`RuntimeError::RoundLimit`].
+    pub max_rounds: u64,
+    /// Per-edge, per-direction bandwidth in 64-bit words per round.
+    pub capacity_words: usize,
+    /// Equal-time event ordering (see [`TieBreak`]).
+    pub tie_break: TieBreak,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        let exec = ExecutorConfig::default();
+        SimConfig {
+            latency: LatencyModel::Fixed(1),
+            seed: exec.seed,
+            max_rounds: exec.max_rounds,
+            capacity_words: exec.capacity_words,
+            tie_break: TieBreak::InsertionOrder,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config sharing seed, round budget and bandwidth with `exec`, so a
+    /// simulated run is directly comparable to a synchronous one.
+    pub fn matching(exec: &ExecutorConfig, latency: LatencyModel) -> Self {
+        SimConfig {
+            latency,
+            seed: exec.seed,
+            max_rounds: exec.max_rounds,
+            capacity_words: exec.capacity_words,
+            tie_break: TieBreak::InsertionOrder,
+        }
+    }
+
+    /// The same config with a different latency model.
+    pub fn with_latency(self, latency: LatencyModel) -> Self {
+        SimConfig { latency, ..self }
+    }
+}
+
+/// A deterministic discrete-event simulator for asynchronous CONGEST
+/// execution of unmodified [`NodeProgram`]s.
+#[derive(Debug, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration this simulator runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `program` on every vertex of `g` until all vertices halt.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Model`] if the program violates the CONGEST model
+    /// (non-edge send, or a reconstructed round over the bandwidth cap), and
+    /// [`RuntimeError::RoundLimit`] if any vertex exceeds the round budget.
+    pub fn run<P: NodeProgram>(
+        &self,
+        g: &Graph,
+        program: &P,
+    ) -> Result<SimExecution<P::State>, RuntimeError> {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine = Engine::new(g, program, &adj, &self.config);
+        engine.start()?;
+        engine.drain()?;
+        engine.finish()
+    }
+}
+
+/// One synchronizer packet in flight.
+struct Packet<M> {
+    src: usize,
+    dst: usize,
+    /// The sender's local round when the packet was sent.
+    tag: u64,
+    /// Program messages for this edge, in send order, with word sizes.
+    payload: Vec<(M, usize)>,
+    /// Whether the sender halted after the tagged round (tag 0: at init).
+    halt: bool,
+}
+
+/// Buffered packets of one tag: per sender, its payload in send order.
+type TaggedBuffer<M> = Vec<(usize, Vec<(M, usize)>)>;
+
+/// Per-vertex synchronizer state.
+struct VertexSim<M> {
+    halted: bool,
+    /// The next local round this vertex will execute (starts at 1).
+    next_round: u64,
+    /// Simulated time of the most recent (eventually: final) execution.
+    completion: u64,
+    /// Buffered packets by tag: sender and payload, awaiting consumption at
+    /// local round `tag + 1`.
+    pending: HashMap<u64, TaggedBuffer<M>>,
+    /// For each neighbor known to have halted: the last tag it sent.
+    nbr_final_tag: HashMap<usize, u64>,
+}
+
+struct Engine<'a, P: NodeProgram> {
+    g: &'a Graph,
+    program: &'a P,
+    adj: &'a [Vec<usize>],
+    config: &'a SimConfig,
+    n: usize,
+    states: Vec<P::State>,
+    vx: Vec<VertexSim<P::Msg>>,
+    /// Min-heap of `(arrival time, seq, packet arena index)`. `seq` is
+    /// unique per packet, so the arena index never decides ordering.
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Packet arena; delivered slots are recycled through `free_slots`, so
+    /// the arena stays at peak-in-flight size rather than growing with every
+    /// packet ever sent.
+    packets: Vec<Option<Packet<P::Msg>>>,
+    free_slots: Vec<usize>,
+    seq: u64,
+    /// Reconstructed synchronous rounds: `per_round[r - 1]` holds every
+    /// program message sent while some vertex executed its local round `r`.
+    /// Buckets are submitted to `meter` (and their memory reclaimed) as soon
+    /// as every live vertex has moved past the round, so model violations
+    /// surface promptly and memory stays proportional to the round skew, not
+    /// to the whole run.
+    per_round: Vec<Vec<Message>>,
+    /// Rounds already submitted to `meter` (a prefix of `per_round`).
+    submitted: usize,
+    meter: RoundMeter,
+    /// Live (non-halted) vertices per `next_round` value, maintained
+    /// incrementally so the meter frontier needs no per-tick vertex scan.
+    round_pop: HashMap<u64, usize>,
+    /// Number of live vertices.
+    live: usize,
+    /// Smallest `next_round` among live vertices (`u64::MAX` once all have
+    /// halted): every reconstructed round below it is final.
+    frontier: u64,
+    makespan: u64,
+    edge_index: HashMap<(usize, usize), usize>,
+    edges: Vec<(usize, usize)>,
+    in_flight: Vec<usize>,
+    edge_peak: Vec<usize>,
+    cur_in_flight: usize,
+    stats: SimStats,
+}
+
+fn ekey(u: usize, v: usize) -> (usize, usize) {
+    (u.min(v), u.max(v))
+}
+
+impl<'a, P: NodeProgram> Engine<'a, P> {
+    fn new(g: &'a Graph, program: &'a P, adj: &'a [Vec<usize>], config: &'a SimConfig) -> Self {
+        let n = g.n();
+        let seed = config.seed;
+        let mut edge_index = HashMap::new();
+        let mut edges = Vec::with_capacity(g.m());
+        for (u, v) in g.edges() {
+            edge_index.insert(ekey(u, v), edges.len());
+            edges.push(ekey(u, v));
+        }
+        let states: Vec<P::State> = (0..n)
+            .map(|v| program.init(&NodeCtx::new(v, n, 0, &adj[v], seed)))
+            .collect();
+        let vx: Vec<VertexSim<P::Msg>> = (0..n)
+            .map(|v| VertexSim {
+                halted: program.halted(&NodeCtx::new(v, n, 0, &adj[v], seed), &states[v]),
+                next_round: 1,
+                completion: 0,
+                pending: HashMap::new(),
+                nbr_final_tag: HashMap::new(),
+            })
+            .collect();
+        let m = edges.len();
+        let live = vx.iter().filter(|x| !x.halted).count();
+        let mut round_pop = HashMap::new();
+        if live > 0 {
+            round_pop.insert(1, live);
+        }
+        Engine {
+            g,
+            program,
+            adj,
+            config,
+            n,
+            states,
+            vx,
+            heap: BinaryHeap::new(),
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            per_round: Vec::new(),
+            submitted: 0,
+            meter: RoundMeter::with_capacity(config.capacity_words),
+            round_pop,
+            frontier: if live > 0 { 1 } else { u64::MAX },
+            live,
+            makespan: 0,
+            edge_index,
+            edges,
+            in_flight: vec![0; m],
+            edge_peak: vec![0; m],
+            cur_in_flight: 0,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Tick 0: vertices halted at initialization announce themselves; every
+    /// other vertex executes round 1 (whose synchronous inbox is empty by
+    /// definition, so it needs no incoming packets).
+    fn start(&mut self) -> Result<(), RuntimeError> {
+        for (v, neighbors) in self.adj.iter().enumerate() {
+            if self.vx[v].halted {
+                for &u in neighbors {
+                    self.send_packet(
+                        Packet {
+                            src: v,
+                            dst: u,
+                            tag: 0,
+                            payload: Vec::new(),
+                            halt: true,
+                        },
+                        0,
+                    );
+                }
+            }
+        }
+        for v in 0..self.n {
+            if !self.vx[v].halted {
+                self.try_advance(v, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes the event queue to exhaustion, one timestamp batch at a
+    /// time: first buffer every arrival of the tick, then let ready vertices
+    /// execute. The synchronizer invariant (a vertex waiting on some neighbor
+    /// always has that neighbor's packet in flight or pending) guarantees the
+    /// queue only empties once every vertex has halted.
+    fn drain(&mut self) -> Result<(), RuntimeError> {
+        while let Some(&Reverse((now, _, _))) = self.heap.peek() {
+            let mut touched: Vec<usize> = Vec::new();
+            while let Some(&Reverse((t, _, idx))) = self.heap.peek() {
+                if t != now {
+                    break;
+                }
+                self.heap.pop();
+                let packet = self.packets[idx].take().expect("packet delivered twice");
+                self.free_slots.push(idx);
+                self.arrive(packet, &mut touched);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            if self.config.tie_break == TieBreak::ReverseInsertion {
+                touched.reverse();
+            }
+            for v in touched {
+                if !self.vx[v].halted {
+                    self.try_advance(v, now)?;
+                }
+            }
+            self.pump_meter()?;
+        }
+        debug_assert!(
+            self.vx.iter().all(|x| x.halted),
+            "event queue drained with live vertices — synchronizer invariant broken"
+        );
+        Ok(())
+    }
+
+    /// Submits every reconstructed round that can no longer grow — all live
+    /// vertices have moved past it — to the meter, in round order, freeing
+    /// the bucket. This is the same round-by-round model policing the
+    /// synchronous engine applies, so a bandwidth violation aborts the run
+    /// within one tick of the last vertex leaving the offending round instead
+    /// of after the whole simulation.
+    fn pump_meter(&mut self) -> Result<(), RuntimeError> {
+        while self.submitted < self.per_round.len() && (self.submitted as u64) + 1 < self.frontier {
+            let msgs = std::mem::take(&mut self.per_round[self.submitted]);
+            self.meter
+                .round(self.g, &msgs)
+                .map_err(RuntimeError::Model)?;
+            self.submitted += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<SimExecution<P::State>, RuntimeError> {
+        // Flush the rounds still unsubmitted when the last vertices halted.
+        for i in self.submitted..self.per_round.len() {
+            let msgs = std::mem::take(&mut self.per_round[i]);
+            self.meter
+                .round(self.g, &msgs)
+                .map_err(RuntimeError::Model)?;
+        }
+        let meter = self.meter;
+        self.stats.payload_messages = meter.messages();
+        let completion: Vec<u64> = self.vx.iter().map(|x| x.completion).collect();
+        self.stats.edges = self.edges;
+        self.stats.edge_in_flight_peak = self.edge_peak;
+        Ok(SimExecution {
+            rounds: meter.rounds(),
+            messages: meter.messages(),
+            makespan: self.makespan,
+            completion,
+            stats: self.stats,
+            states: self.states,
+            meter,
+        })
+    }
+
+    fn arrive(&mut self, packet: Packet<P::Msg>, touched: &mut Vec<usize>) {
+        let e = self.edge_index[&ekey(packet.src, packet.dst)];
+        self.in_flight[e] -= 1;
+        self.cur_in_flight -= 1;
+        if packet.halt {
+            self.vx[packet.dst]
+                .nbr_final_tag
+                .insert(packet.src, packet.tag);
+        }
+        if self.vx[packet.dst].halted {
+            // The synchronous engine likewise never reads mail addressed to a
+            // halted vertex.
+            self.stats.dropped_packets += 1;
+            return;
+        }
+        if packet.tag >= 1 {
+            self.vx[packet.dst]
+                .pending
+                .entry(packet.tag)
+                .or_default()
+                .push((packet.src, packet.payload));
+        }
+        // Even a tag-0 halt announcement can unblock the receiver (it stops
+        // waiting for that neighbor), so the vertex is always re-examined.
+        touched.push(packet.dst);
+    }
+
+    /// Executes as many consecutive local rounds of `v` as are ready at the
+    /// current tick. Several rounds can fire back to back: a vertex whose
+    /// neighbors ran ahead may hold all the packets its next round needs, and
+    /// an isolated vertex has no one to wait for at all.
+    fn try_advance(&mut self, v: usize, now: u64) -> Result<(), RuntimeError> {
+        while !self.vx[v].halted && self.ready(v) {
+            self.execute_round(v, now)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `v` holds everything its next local round needs: a packet
+    /// tagged `next_round - 1` from every neighbor still live at that round
+    /// (round 1 needs nothing — its synchronous inbox is empty).
+    ///
+    /// Counting suffices: every vertex sends exactly one packet per tag, so
+    /// `pending[need].len()` is the number of distinct neighbors heard from,
+    /// and a neighbor whose final tag is below `need` never sent one — the
+    /// two sets are disjoint and must jointly cover the neighborhood.
+    fn ready(&self, v: usize) -> bool {
+        let r = self.vx[v].next_round;
+        if r == 1 {
+            return true;
+        }
+        let need = r - 1;
+        let vx = &self.vx[v];
+        let heard = vx.pending.get(&need).map_or(0, Vec::len);
+        let excused = vx
+            .nbr_final_tag
+            .values()
+            .filter(|&&last| last < need)
+            .count();
+        heard + excused == self.adj[v].len()
+    }
+
+    fn execute_round(&mut self, v: usize, now: u64) -> Result<(), RuntimeError> {
+        let r = self.vx[v].next_round;
+        if r > self.config.max_rounds {
+            return Err(RuntimeError::RoundLimit {
+                limit: self.config.max_rounds,
+            });
+        }
+        // The synchronous inbox for round r: tag r-1 payloads, flattened in
+        // increasing sender order (the synchronous executor's commit order).
+        let mut buffered = self.vx[v].pending.remove(&(r - 1)).unwrap_or_default();
+        buffered.sort_unstable_by_key(|&(src, _)| src);
+        let inbox: Vec<Envelope<P::Msg>> = buffered
+            .into_iter()
+            .flat_map(|(src, payload)| {
+                payload
+                    .into_iter()
+                    .map(move |(msg, _words)| Envelope { src, msg })
+            })
+            .collect();
+
+        let adj = self.adj;
+        let program = self.program;
+        let ctx = NodeCtx::new(v, self.n, r, &adj[v], self.config.seed);
+        let out: VertexRound<P::Msg> =
+            driver::step_vertex(program, &ctx, &mut self.states[v], &inbox);
+        if let Some(err) = out.violation {
+            return Err(RuntimeError::Model(err));
+        }
+
+        self.makespan = self.makespan.max(now);
+        if self.per_round.len() < r as usize {
+            self.per_round.resize_with(r as usize, Vec::new);
+        }
+        self.per_round[(r - 1) as usize].extend(driver::to_messages(v, &out.sends));
+
+        // Group this round's sends by destination, preserving send order.
+        let mut by_nbr: HashMap<usize, Vec<(P::Msg, usize)>> = HashMap::new();
+        for (dst, msg, words) in out.sends {
+            by_nbr.entry(dst).or_default().push((msg, words));
+        }
+
+        self.vx[v].halted = out.halted;
+        self.vx[v].next_round = r + 1;
+        self.vx[v].completion = now;
+
+        // Frontier bookkeeping: `v` leaves round r's live population, either
+        // for round r + 1 or (on halt) for good. The frontier only ever
+        // advances, so the catch-up walk is amortized over the whole run.
+        if let Some(pop) = self.round_pop.get_mut(&r) {
+            *pop -= 1;
+            if *pop == 0 {
+                self.round_pop.remove(&r);
+            }
+        }
+        if out.halted {
+            self.live -= 1;
+        } else {
+            *self.round_pop.entry(r + 1).or_insert(0) += 1;
+        }
+        if self.live == 0 {
+            self.frontier = u64::MAX;
+        } else {
+            while !self.round_pop.contains_key(&self.frontier) {
+                self.frontier += 1;
+            }
+        }
+
+        // The synchronizer pulse: one packet per neighbor, tagged with this
+        // round, carrying the payload for that edge and the halt flag.
+        for &u in &adj[v] {
+            let payload = by_nbr.remove(&u).unwrap_or_default();
+            self.send_packet(
+                Packet {
+                    src: v,
+                    dst: u,
+                    tag: r,
+                    payload,
+                    halt: out.halted,
+                },
+                now,
+            );
+        }
+        Ok(())
+    }
+
+    fn send_packet(&mut self, packet: Packet<P::Msg>, now: u64) {
+        let delay = self
+            .config
+            .latency
+            .sample(self.config.seed, packet.src, packet.dst, packet.tag)
+            .max(1);
+        self.stats.packets += 1;
+        if packet.payload.is_empty() {
+            self.stats.pure_pulses += 1;
+        } else {
+            self.stats.payload_packets += 1;
+        }
+        let e = self.edge_index[&ekey(packet.src, packet.dst)];
+        self.in_flight[e] += 1;
+        self.cur_in_flight += 1;
+        // Arrivals of a tick are processed before its sends, so these peaks
+        // are independent of equal-time event ordering.
+        self.edge_peak[e] = self.edge_peak[e].max(self.in_flight[e]);
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.cur_in_flight);
+        let seq = match self.config.tie_break {
+            TieBreak::InsertionOrder => self.seq,
+            TieBreak::ReverseInsertion => u64::MAX - self.seq,
+        };
+        self.seq += 1;
+        let idx = match self.free_slots.pop() {
+            Some(slot) => {
+                self.packets[slot] = Some(packet);
+                slot
+            }
+            None => {
+                self.packets.push(Some(packet));
+                self.packets.len() - 1
+            }
+        };
+        self.heap.push(Reverse((now + delay, seq, idx)));
+    }
+}
+
+/// The paired results of a synchronous execution and a simulation of the
+/// same program: `(executor run, simulator run)`.
+pub type EnginePair<S> = (Execution<S>, SimExecution<S>);
+
+/// Runs `program` under both engines — the synchronous [`Executor`] and this
+/// crate's [`Simulator`] with the given latency model — from one shared
+/// configuration, so the pair is directly comparable (identical seeds, round
+/// budgets and bandwidth caps).
+///
+/// With [`LatencyModel::Fixed`]`(1)` the two final state vectors are
+/// bit-for-bit identical for any program whose
+/// [`NodeProgram::quiescent`] declaration honors the strict no-op contract
+/// (the default — never quiescent — always does); the differential test
+/// suites lean on exactly this. Programs that deliberately trade a
+/// round-triggered timeout for the executor's fixpoint break (the BFS and
+/// Voronoi ports' unreachability timeouts) agree bit-for-bit on every
+/// connected input and in their public outputs everywhere, but on
+/// disconnected inputs the engines may differ in round counts and private
+/// protocol flags.
+///
+/// # Errors
+///
+/// Propagates the first engine failure (synchronous first).
+pub fn run_both<P: NodeProgram>(
+    g: &Graph,
+    program: &P,
+    exec_config: &ExecutorConfig,
+    latency: LatencyModel,
+) -> Result<EnginePair<P::State>, RuntimeError> {
+    let sync = Executor::new(exec_config.clone()).run(g, program)?;
+    let sim = Simulator::new(SimConfig::matching(exec_config, latency)).run(g, program)?;
+    Ok((sync, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_graph::generators;
+    use mfd_runtime::Outbox;
+
+    /// Every vertex broadcasts its id once, then counts what it hears for
+    /// two more rounds.
+    struct Census;
+
+    impl NodeProgram for Census {
+        type State = (u64, u64); // (sum of heard ids, messages heard)
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) -> (u64, u64) {
+            (0, 0)
+        }
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut (u64, u64),
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            for env in inbox {
+                state.0 += env.msg;
+                state.1 += 1;
+            }
+            if ctx.round == 1 {
+                out.broadcast(ctx.id as u64);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &(u64, u64)) -> bool {
+            ctx.round >= 2
+        }
+    }
+
+    #[test]
+    fn census_counts_neighbors_under_any_latency() {
+        let g = generators::cycle(8);
+        for latency in [
+            LatencyModel::Fixed(1),
+            LatencyModel::Fixed(5),
+            LatencyModel::Uniform { lo: 1, hi: 9 },
+            LatencyModel::HeavyTail {
+                min: 1,
+                alpha: 1.3,
+                cap: 40,
+            },
+        ] {
+            let sim = Simulator::new(SimConfig::default().with_latency(latency));
+            let run = sim.run(&g, &Census).unwrap();
+            assert_eq!(run.rounds, 2);
+            assert_eq!(run.messages, 2 * g.m() as u64);
+            for (v, &(sum, heard)) in run.states.iter().enumerate() {
+                assert_eq!(heard, 2, "vertex {v}");
+                let expected: u64 = g.neighbors(v).iter().map(|&u| u as u64).sum();
+                assert_eq!(sum, expected, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_unit_latency_matches_synchronous_executor() {
+        let g = generators::triangulated_grid(6, 7);
+        let (sync, sim) = run_both(
+            &g,
+            &Census,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        assert_eq!(sync.states, sim.states);
+        assert_eq!(sync.rounds, sim.rounds);
+        assert_eq!(sync.messages, sim.messages);
+        assert_eq!(
+            sync.meter.max_words_on_edge(),
+            sim.meter.max_words_on_edge()
+        );
+        // Round r fires at tick r - 1 under unit delays.
+        assert_eq!(sim.makespan, sim.rounds - 1);
+    }
+
+    #[test]
+    fn makespan_scales_with_fixed_latency() {
+        let g = generators::path(5);
+        let d3 = Simulator::new(SimConfig::default().with_latency(LatencyModel::Fixed(3)));
+        let run = d3.run(&g, &Census).unwrap();
+        // Round 1 at tick 0, round 2 once the 3-tick packets land.
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.makespan, 3);
+        assert!(run.completion.iter().all(|&t| t == 3));
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_tie_break_independent() {
+        let g = generators::wheel(24);
+        let base = SimConfig::default().with_latency(LatencyModel::Uniform { lo: 1, hi: 6 });
+        let a = Simulator::new(base.clone()).run(&g, &Census).unwrap();
+        let b = Simulator::new(base.clone()).run(&g, &Census).unwrap();
+        let c = Simulator::new(SimConfig {
+            tie_break: TieBreak::ReverseInsertion,
+            ..base
+        })
+        .run(&g, &Census)
+        .unwrap();
+        for other in [&b, &c] {
+            assert_eq!(a.states, other.states);
+            assert_eq!(a.makespan, other.makespan);
+            assert_eq!(a.completion, other.completion);
+            assert_eq!(a.rounds, other.rounds);
+            assert_eq!(a.messages, other.messages);
+            assert_eq!(a.stats.packets, other.stats.packets);
+            assert_eq!(a.stats.peak_in_flight, other.stats.peak_in_flight);
+            assert_eq!(a.stats.edge_in_flight_peak, other.stats.edge_in_flight_peak);
+        }
+    }
+
+    #[test]
+    fn synchronizer_overhead_is_reported() {
+        let g = generators::star(6);
+        let run = Simulator::new(SimConfig::default())
+            .run(&g, &Census)
+            .unwrap();
+        // Round 1 packets all carry payload; round 2 packets are pure pulses.
+        assert_eq!(run.stats.packets, 4 * g.m() as u64);
+        assert_eq!(run.stats.payload_packets, 2 * g.m() as u64);
+        assert_eq!(run.stats.pure_pulses, 2 * g.m() as u64);
+        assert!((run.stats.overhead_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(run.stats.payload_messages, run.messages);
+    }
+
+    /// Halts at init on odd vertices; even vertices count two rounds.
+    struct HalfAsleep;
+
+    impl NodeProgram for HalfAsleep {
+        type State = u64;
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) -> u64 {
+            0
+        }
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut u64,
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            *state += inbox.len() as u64;
+            if ctx.round == 1 {
+                out.broadcast(1);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &u64) -> bool {
+            ctx.id % 2 == 1 || ctx.round >= 3
+        }
+    }
+
+    #[test]
+    fn init_halted_vertices_are_announced_not_awaited() {
+        // On a path, every even vertex is wedged between init-halted odd
+        // vertices; without tag-0 halt announcements it would deadlock
+        // waiting for their round-1 packets.
+        let g = generators::path(7);
+        let run = Simulator::new(SimConfig::default())
+            .run(&g, &HalfAsleep)
+            .unwrap();
+        assert_eq!(run.rounds, 3);
+        // Messages to the init-halted odd vertices are dropped on arrival.
+        assert!(run.stats.dropped_packets > 0);
+        // Odd vertices never ran; even vertices only have init-halted
+        // neighbors, so nobody ever hears anything.
+        assert!(run.states.iter().all(|&heard| heard == 0));
+        for (v, &t) in run.completion.iter().enumerate() {
+            if v % 2 == 1 {
+                assert_eq!(t, 0, "init-halted vertex {v} has no completion time");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_zero_vertices_spin_to_completion_instantly() {
+        let g = Graph::new(3); // no edges
+        let run = Simulator::new(SimConfig::default())
+            .run(&g, &Census)
+            .unwrap();
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.makespan, 0);
+        assert_eq!(run.messages, 0);
+    }
+
+    #[test]
+    fn round_limit_guards_non_halting_programs() {
+        struct Spinner;
+        impl NodeProgram for Spinner {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                _ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<u64>],
+                _out: &mut Outbox<'_, u64>,
+            ) {
+            }
+            fn halted(&self, _ctx: &NodeCtx, _state: &()) -> bool {
+                false
+            }
+        }
+        let g = generators::path(3);
+        let sim = Simulator::new(SimConfig {
+            max_rounds: 10,
+            ..SimConfig::default()
+        });
+        assert_eq!(
+            sim.run(&g, &Spinner).unwrap_err(),
+            RuntimeError::RoundLimit { limit: 10 }
+        );
+    }
+
+    #[test]
+    fn non_edge_sends_are_rejected() {
+        struct BadSender;
+        impl NodeProgram for BadSender {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if ctx.id == 0 {
+                    out.send(ctx.n - 1, 1);
+                }
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+                ctx.round >= 1
+            }
+        }
+        let g = generators::path(4);
+        let err = Simulator::new(SimConfig::default())
+            .run(&g, &BadSender)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Model(_)));
+    }
+
+    #[test]
+    fn bandwidth_overcommitment_is_rejected() {
+        struct DoubleSender;
+        impl NodeProgram for DoubleSender {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if ctx.id == 0 {
+                    out.send(1, 1);
+                    out.send(1, 2);
+                }
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+                ctx.round >= 1
+            }
+        }
+        let g = generators::path(3);
+        let err = Simulator::new(SimConfig::default())
+            .run(&g, &DoubleSender)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Model(_)), "{err}");
+        // With two words of per-edge capacity the same program is legal.
+        let ok = Simulator::new(SimConfig {
+            capacity_words: 2,
+            ..SimConfig::default()
+        })
+        .run(&g, &DoubleSender);
+        ok.unwrap();
+    }
+
+    #[test]
+    fn per_edge_latency_reads_the_weighted_graph() {
+        use mfd_graph::WeightedGraph;
+        let g = generators::path(3); // edges {0,1}, {1,2}
+        let mut w = WeightedGraph::new(3);
+        w.add_weight(0, 1, 10);
+        w.add_weight(1, 2, 1);
+        let run = Simulator::new(SimConfig::default().with_latency(LatencyModel::PerEdge(w)))
+            .run(&g, &Census)
+            .unwrap();
+        // Vertex 2 only waits on the fast edge; vertex 0 waits on the slow one.
+        assert_eq!(run.completion[2], 1);
+        assert_eq!(run.completion[0], 10);
+        assert_eq!(run.rounds, 2);
+    }
+
+    #[test]
+    fn empty_graph_finishes_immediately() {
+        let g = Graph::new(0);
+        let run = Simulator::new(SimConfig::default())
+            .run(&g, &Census)
+            .unwrap();
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.makespan, 0);
+        assert!(run.states.is_empty());
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`core`](mfd_core) — the paper's deterministic decompositions.
 //! * [`routing`](mfd_routing) — information-gathering strategies (§2).
 //! * [`runtime`](mfd_runtime) — the parallel round-synchronous execution engine.
+//! * [`sim`](mfd_sim) — the deterministic discrete-event asynchronous simulator
+//!   (latency models + α-synchronizer).
 //! * [`apps`](mfd_apps) — applications (MIS, matching, cover, cut, testing).
 //! * [`bench`](mfd_bench) — benchmark workloads and table formatting.
 
@@ -18,3 +20,4 @@ pub use mfd_core as core;
 pub use mfd_graph as graph;
 pub use mfd_routing as routing;
 pub use mfd_runtime as runtime;
+pub use mfd_sim as sim;
