@@ -1,4 +1,4 @@
-//! Solomon's bounded-degree sparsifiers (paper §6.1, following [Sol18]).
+//! Solomon's bounded-degree sparsifiers (paper §6.1, following \[Sol18\]).
 //!
 //! For maximum matching, maximum independent set and minimum vertex cover in graphs
 //! of arboricity at most `α`, there is a deterministic **one-round** reduction to the

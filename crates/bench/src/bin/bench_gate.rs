@@ -1,0 +1,215 @@
+//! The CI benchmark-regression gate.
+//!
+//! Compares the machine-readable `BENCH_*.json` series emitted by the
+//! `report` binary against the checked-in `benches/baselines.json` and fails
+//! (exit code 1) if any series' rounds or messages regressed by more than
+//! 10%. Determinism is checked separately in CI by running the report twice
+//! and diffing the files byte-for-byte; this gate catches the *drift* —
+//! a program suddenly charging or executing more than it used to.
+//!
+//! ```text
+//! bench_gate <baselines.json> <BENCH_a.json> [<BENCH_b.json> ...]
+//! bench_gate --update <baselines.json> <BENCH_a.json> [...]   # rewrite baselines
+//! ```
+//!
+//! A series present in a bench file but missing from the baselines is
+//! reported as new and passes (add it with `--update`); a baseline series
+//! missing from every bench file fails, so benchmarks cannot silently
+//! disappear.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use mfd_bench::json::{parse, Value};
+
+/// Regression tolerance: a metric may grow by at most this factor.
+const TOLERANCE: f64 = 1.10;
+
+/// The gated metrics of one series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Metrics {
+    rounds: f64,
+    messages: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (update, paths) = match args.first().map(String::as_str) {
+        Some("--update") => (true, &args[1..]),
+        _ => (false, &args[..]),
+    };
+    if paths.len() < 2 {
+        eprintln!("usage: bench_gate [--update] <baselines.json> <BENCH.json> [...]");
+        return ExitCode::FAILURE;
+    }
+    let baselines_path = &paths[0];
+    let mut current: BTreeMap<String, Metrics> = BTreeMap::new();
+    for path in &paths[1..] {
+        if let Err(msg) = collect_series(path, &mut current) {
+            eprintln!("bench_gate: {path}: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if update {
+        let body = render_baselines(&current);
+        if let Err(e) = std::fs::write(baselines_path, body) {
+            eprintln!("bench_gate: write {baselines_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_gate: wrote {} series to {baselines_path}",
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baselines = match load_baselines(baselines_path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("bench_gate: {baselines_path}: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    for (key, base) in &baselines {
+        match current.get(key) {
+            None => {
+                eprintln!("FAIL {key}: series disappeared from the bench output");
+                failures += 1;
+            }
+            Some(now) => {
+                for (metric, was, is) in [
+                    ("rounds", base.rounds, now.rounds),
+                    ("messages", base.messages, now.messages),
+                ] {
+                    if is > was * TOLERANCE {
+                        eprintln!(
+                            "FAIL {key}: {metric} regressed {was} -> {is} (> {:.0}%)",
+                            (TOLERANCE - 1.0) * 100.0
+                        );
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+    for key in current.keys() {
+        if !baselines.contains_key(key) {
+            println!("NEW  {key}: no baseline yet (add with --update)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} regression(s) against {} baseline series",
+            baselines.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_gate: OK — {} series checked against {} baselines",
+            current.len(),
+            baselines.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Fields that are measurements rather than identity: everything else —
+/// including numeric experiment parameters such as the failure budget `f` —
+/// is part of a series' key, so changing a parameter produces a *new* series
+/// instead of silently comparing against a baseline measured under the old
+/// one.
+const METRIC_FIELDS: [&str; 4] = ["rounds", "messages", "makespan", "delivered"];
+
+/// Reads one `BENCH_*.json` file and folds its series into `out`, keyed by
+/// the schema kind plus every identity field of the row.
+fn collect_series(path: &str, out: &mut BTreeMap<String, Metrics>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse(&text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema field")?;
+    // "mfd-bench/<kind>/v1" -> "<kind>"
+    let kind = schema.split('/').nth(1).ok_or("malformed schema name")?;
+    let rows = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .ok_or("missing benchmarks array")?;
+    for row in rows {
+        let obj = row.as_obj().ok_or("benchmark row is not an object")?;
+        let mut key = kind.to_string();
+        for (name, value) in obj {
+            if METRIC_FIELDS.contains(&name.as_str()) {
+                continue;
+            }
+            let rendered = match value {
+                Value::Str(s) => s.clone(),
+                Value::Bool(b) => b.to_string(),
+                Value::Num(x) => format!("{x}"),
+                // A null is an absent measurement (e.g. no makespan outside
+                // the simulator), not identity.
+                Value::Null | Value::Arr(_) | Value::Obj(_) => continue,
+            };
+            key.push_str(&format!("|{name}={rendered}"));
+        }
+        let metric = |field: &str| {
+            obj.get(field)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("series '{key}' lacks numeric '{field}'"))
+        };
+        let metrics = Metrics {
+            rounds: metric("rounds")?,
+            messages: metric("messages")?,
+        };
+        if out.insert(key.clone(), metrics).is_some() {
+            return Err(format!("duplicate series key '{key}'"));
+        }
+    }
+    Ok(())
+}
+
+fn load_baselines(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse(&text).map_err(|e| e.to_string())?;
+    let series = doc
+        .get("series")
+        .and_then(Value::as_obj)
+        .ok_or("missing series object")?;
+    let mut out = BTreeMap::new();
+    for (key, value) in series {
+        let metric = |field: &str| {
+            value
+                .get(field)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("baseline '{key}' lacks numeric '{field}'"))
+        };
+        out.insert(
+            key.clone(),
+            Metrics {
+                rounds: metric("rounds")?,
+                messages: metric("messages")?,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn render_baselines(series: &BTreeMap<String, Metrics>) -> String {
+    let mut body = String::from("{\n  \"schema\": \"mfd-bench/baselines/v1\",\n  \"series\": {\n");
+    let rows: Vec<String> = series
+        .iter()
+        .map(|(key, m)| {
+            format!(
+                "    \"{key}\": {{\"rounds\": {}, \"messages\": {}}}",
+                m.rounds, m.messages
+            )
+        })
+        .collect();
+    body.push_str(&rows.join(",\n"));
+    body.push_str("\n  }\n}\n");
+    body
+}

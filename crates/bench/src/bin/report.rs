@@ -26,7 +26,10 @@ use mfd_core::programs::{BfsProgram, ColeVishkinProgram, VoronoiLddProgram};
 use mfd_graph::generators;
 use mfd_graph::properties::splitmix64;
 use mfd_routing::gather::{gather_to_leader, GatherStrategy};
-use mfd_routing::load_balance::LoadBalanceParams;
+use mfd_routing::load_balance::{LoadBalanceParams, LoadBalancePlan};
+use mfd_routing::programs::{
+    execute_gather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
+};
 use mfd_routing::walks::WalkParams;
 use mfd_runtime::{Executor, ExecutorConfig, NodeProgram};
 use mfd_sim::{LatencyModel, SimConfig, Simulator};
@@ -70,6 +73,9 @@ fn main() {
     }
     if want("runtime") {
         runtime_report();
+    }
+    if want("gather") {
+        gather_report();
     }
 }
 
@@ -654,5 +660,241 @@ fn runtime_report() {
     );
     let path = "BENCH_runtime.json";
     std::fs::write(path, json).expect("write BENCH_runtime.json");
+    println!("wrote {path} ({} series)", rows.len());
+}
+
+/// One gather measurement destined for `BENCH_gather.json`: a strategy on a
+/// graph family, in one mode (the metered charge, the synchronous executor,
+/// or the event simulator under a latency model).
+struct GatherRow {
+    graph: String,
+    n: usize,
+    m: usize,
+    strategy: &'static str,
+    mode: &'static str,
+    latency: Option<&'static str>,
+    f: f64,
+    rounds: u64,
+    messages: u64,
+    delivered: f64,
+    makespan: Option<u64>,
+}
+
+impl GatherRow {
+    fn to_json(&self) -> String {
+        let latency = match self.latency {
+            Some(l) => format!("\"{l}\""),
+            None => "null".to_string(),
+        };
+        let makespan = match self.makespan {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"strategy\":\"{}\",\"mode\":\"{}\",\
+             \"latency\":{},\"f\":{:.3},\"rounds\":{},\"messages\":{},\
+             \"delivered\":{:.6},\"makespan\":{}}}",
+            self.graph,
+            self.n,
+            self.m,
+            self.strategy,
+            self.mode,
+            latency,
+            self.f,
+            self.rounds,
+            self.messages,
+            self.delivered,
+            makespan
+        )
+    }
+}
+
+/// Runs one gather program under the synchronous executor and the simulator's
+/// latency models, asserting engine invariance and the charged-bound
+/// contract, and appends one row per engine.
+#[allow(clippy::too_many_arguments)]
+fn run_gather_engines<P: GatherProgram>(
+    g: &mfd_graph::Graph,
+    program: &P,
+    graph_name: &str,
+    f: f64,
+    charged_rounds: u64,
+    rows: &mut Vec<GatherRow>,
+) {
+    let cfg = ExecutorConfig::default();
+    let (report, sync) =
+        execute_gather(g, program, &cfg).expect("gather program is model-compliant");
+    assert!(
+        report.rounds <= charged_rounds,
+        "{} on {graph_name}: executed {} rounds exceed the charged bound {}",
+        program.strategy_name(),
+        report.rounds,
+        charged_rounds
+    );
+    rows.push(GatherRow {
+        graph: graph_name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        strategy: program.strategy_name(),
+        mode: "executor",
+        latency: None,
+        f,
+        rounds: report.rounds,
+        messages: report.messages,
+        delivered: report.delivered_fraction,
+        makespan: None,
+    });
+    for (name, latency) in [
+        ("fixed-1", LatencyModel::Fixed(1)),
+        (
+            "heavy-tail-1.2-cap64",
+            LatencyModel::HeavyTail {
+                min: 1,
+                alpha: 1.2,
+                cap: 64,
+            },
+        ),
+    ] {
+        let sim = Simulator::new(SimConfig::matching(&cfg, latency))
+            .run(g, program)
+            .expect("gather program is model-compliant");
+        assert_eq!(sim.rounds, sync.rounds, "latency must not change rounds");
+        assert_eq!(sim.messages, sync.messages);
+        let sim_report = program.executed_report(&sim.states, sim.rounds, sim.messages);
+        rows.push(GatherRow {
+            graph: graph_name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            strategy: program.strategy_name(),
+            mode: "sim",
+            latency: Some(name),
+            f,
+            rounds: sim_report.rounds,
+            messages: sim_report.messages,
+            delivered: sim_report.delivered_fraction,
+            makespan: Some(sim.makespan),
+        });
+    }
+}
+
+/// R2 — the §2 gather strategies as executed `NodeProgram`s, differentially
+/// against the metered charges, written to `BENCH_gather.json` for the CI
+/// determinism diff and regression gate.
+fn gather_report() {
+    let families = [
+        ("tri-grid-8x8", generators::triangulated_grid(8, 8)),
+        ("wheel-64", generators::wheel(64)),
+        ("hypercube-6", generators::hypercube(6)),
+    ];
+    let f = 0.1;
+    // Tighter caps than the library defaults keep the leader-local seed
+    // search cheap; metered and executed share the resulting plan, so the
+    // differential is unaffected.
+    let walk_params = WalkParams {
+        max_seed_tries: 6,
+        max_walks_per_message: 16,
+        max_steps: 256,
+        ..WalkParams::default()
+    };
+    // Low walk-schedule delivered fractions on the grid and hypercube are the
+    // expected outcome, not a bug: their leaders have Θ(1)-degree gadgets,
+    // exactly the clusters for which `gather_to_leader` falls back to the
+    // tree pipeline. The wheel (Θ(n)-degree hub) is the walk-friendly case.
+    let walk_f = 0.2;
+    let mut rows: Vec<GatherRow> = Vec::new();
+    for (name, g) in &families {
+        let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
+        let metered_row = |strategy: &'static str, f, rounds, messages, delivered| GatherRow {
+            graph: name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            strategy,
+            mode: "metered",
+            latency: None,
+            f,
+            rounds,
+            messages,
+            delivered,
+            makespan: None,
+        };
+
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::gather::tree_gather(g, leader, &mut meter);
+        rows.push(metered_row(
+            "tree-pipeline",
+            f,
+            charged.rounds,
+            meter.messages(),
+            charged.delivered_fraction,
+        ));
+        let tree = TreeGatherProgram::new(g, leader);
+        run_gather_engines(g, &tree, name, f, charged.rounds, &mut rows);
+
+        let plan = LoadBalancePlan::new(g, &LoadBalanceParams::default());
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::load_balance::load_balance_gather_with_plan(
+            g, leader, f, &plan, &mut meter,
+        );
+        rows.push(metered_row(
+            "load-balance",
+            f,
+            charged.rounds,
+            meter.messages(),
+            charged.delivered_fraction,
+        ));
+        let lb = LoadBalanceProgram::new(g, leader, f, &plan);
+        run_gather_engines(g, &lb, name, f, charged.rounds, &mut rows);
+
+        let plan = mfd_routing::walks::plan_walk_schedule(g, leader, walk_f, &walk_params);
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::walks::execute_walk_gather(g, &plan, &walk_params, &mut meter);
+        rows.push(metered_row(
+            "walk-schedule",
+            walk_f,
+            charged.rounds,
+            meter.messages(),
+            charged.delivered_fraction,
+        ));
+        let walk = WalkScheduleProgram::new(g, &plan);
+        run_gather_engines(g, &walk, name, walk_f, charged.rounds, &mut rows);
+    }
+
+    let mut table = Table::new(
+        "R2 — §2 gather strategies, metered charge vs executed NodePrograms \
+         (rounds and messages are engine-invariant; executed ≤ charged)",
+        &[
+            "graph",
+            "strategy",
+            "mode",
+            "latency",
+            "rounds",
+            "messages",
+            "delivered",
+            "makespan",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.graph.clone(),
+            r.strategy.to_string(),
+            r.mode.to_string(),
+            r.latency.unwrap_or("-").to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            f3(r.delivered),
+            r.makespan.map_or("-".to_string(), |t| t.to_string()),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/gather/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(GatherRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_gather.json";
+    std::fs::write(path, json).expect("write BENCH_gather.json");
     println!("wrote {path} ({} series)", rows.len());
 }

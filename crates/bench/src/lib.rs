@@ -8,6 +8,8 @@
 
 use mfd_graph::{generators, Graph};
 
+pub mod json;
+
 /// A named workload instance.
 pub struct Workload {
     /// Short name used in table rows.

@@ -122,6 +122,13 @@ pub fn tree_gather(cluster: &Graph, leader: usize, meter: &mut RoundMeter) -> Ga
     primitives::upcast_pipeline(cluster, &tree, &counts, meter);
     // The reverse (leader-to-vertices) distribution costs the same by reversibility.
     primitives::downcast_pipeline(cluster, &tree, &counts, meter);
+    // Control cost of the real protocol (executed by
+    // [`crate::programs::TreeGatherProgram`]): one adoption round joining the
+    // wave, an in-band termination-detection tail of at most `height` rounds
+    // (the done flags ride the pipeline one level per round), and the leader's
+    // echo handshake. Charging it keeps this metered bound an upper bound on
+    // the executed round count, which the differential tests pin.
+    meter.charge_rounds(tree.height as u64 + 2);
     let per_vertex_delivered: Vec<usize> = counts.clone();
     let delivered: usize = counts.iter().sum();
     GatherReport {

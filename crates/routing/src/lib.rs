@@ -22,11 +22,50 @@
 //!   strategies (BFS-tree pipeline, load balancing, walk schedule) used by the
 //!   decomposition layer to pick whichever is cheapest and to account for the T
 //!   parameter of the (ε, D, T)-decomposition.
+//! * [`programs`] — the same three strategies as **executed**
+//!   [`mfd_runtime::NodeProgram`]s, runnable unmodified on the synchronous
+//!   executor and the `mfd-sim` event engine.
+//!
+//! # Metered vs executed
+//!
+//! Every strategy exists in two modes that share one plan:
+//!
+//! | | metered | executed |
+//! |---|---|---|
+//! | entry point | [`gather::gather_to_leader`] | [`programs`] + [`programs::execute_gather`] |
+//! | what runs | a leader-local simulation that *charges* the paper's round bounds on a [`mfd_congest::RoundMeter`] | a real per-vertex message-passing program whose every round is validated by the engines' meter |
+//! | cost reported | the charged upper bound (including reverse notification and control rounds) | rounds actually spent; validated ≤ the charged bound |
+//! | use it for | decomposition accounting (the T parameter), cheap strategy comparison | engine benchmarks, latency studies, end-to-end validation |
+//!
+//! The shared plans ([`load_balance::LoadBalancePlan`], [`walks::WalkPlan`])
+//! memoize the expander split and the spectral conductance/mixing estimates,
+//! are pure in their inputs, and are what keeps the two modes comparable: a
+//! metered run and an executed run sized by the same plan measure the same
+//! protocol.
+//!
+//! # Picking a strategy
+//!
+//! * **Tree pipeline** — always correct, delivers everything; costs
+//!   `O(depth + vol(S)/deg_tree(root))`. The default for the small-diameter,
+//!   low-volume clusters Theorem 1.1 produces, and the fallback whenever a
+//!   cluster is a poor expander.
+//! * **Load balance (Lemma 2.2)** — wants a genuine φ-expander; cost scales
+//!   with `1/φ`, independent of cluster size. Best when the leader has
+//!   moderate degree and the cluster mixes well (cliques, hubs, hypercubes).
+//! * **Walk schedule (Lemmas 2.5/2.6)** — wants a high-degree leader
+//!   (`deg(v*) = Θ(vol)`) so walks actually end in the leader's gadget;
+//!   planning is free leader-local work, and one schedule can serve many
+//!   clusters (Lemma 2.6). On low-degree-leader clusters its good fraction
+//!   collapses and [`gather::gather_to_leader`] falls back to the tree.
 
 pub mod gather;
 pub mod load_balance;
+pub mod programs;
 pub mod split;
 pub mod walks;
 
 pub use gather::{GatherReport, GatherStrategy};
+pub use programs::{
+    ExecutedGather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
+};
 pub use split::ExpanderSplit;

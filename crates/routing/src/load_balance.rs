@@ -56,6 +56,68 @@ impl Default for LoadBalanceParams {
     }
 }
 
+/// A fully sized load-balancing run: everything the gatherer derives from the
+/// cluster topology, computed **once** and reused.
+///
+/// Both the metered simulation ([`load_balance_gather`]) and the executed
+/// [`crate::programs::LoadBalanceProgram`] run from the same plan, so their
+/// token counts, thresholds and step schedules cannot drift apart — and the
+/// (comparatively expensive) spectral conductance estimate runs exactly once
+/// per cluster instead of once per call site. Planning is pure: the same
+/// cluster and parameters always produce the same plan (asserted by unit
+/// test), which is what makes cross-engine runs reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBalancePlan {
+    /// The expander split the tokens balance on.
+    pub split: ExpanderSplit,
+    /// Conductance estimate used to size the token/step budgets.
+    pub phi: f64,
+    /// Load-difference threshold `2Δ⋄ + 1` of the balancing rule.
+    pub threshold: usize,
+    /// Tokens created per undelivered message at the start of each phase.
+    pub tokens_per_message: usize,
+    /// Balancing steps per phase.
+    pub steps_per_phase: usize,
+    /// Maximum number of phases before giving up.
+    pub max_phases: usize,
+    /// Whether the reverse notification run is charged.
+    pub charge_reverse: bool,
+}
+
+impl LoadBalancePlan {
+    /// Sizes a load-balancing run for `cluster` under `params`.
+    pub fn new(cluster: &Graph, params: &LoadBalanceParams) -> Self {
+        let split = ExpanderSplit::build(cluster);
+        let delta_split = split.max_degree().max(1);
+        let threshold = 2 * delta_split + 1;
+        let phi = params
+            .phi_hint
+            .unwrap_or_else(|| estimate_conductance(cluster))
+            .clamp(1e-3, 1.0);
+        let tokens_per_message = if params.tokens_per_message > 0 {
+            params.tokens_per_message
+        } else {
+            ((4.0 * threshold as f64 / phi).ceil() as usize)
+                .clamp(threshold + 1, params.max_tokens_per_message)
+        };
+        let steps_per_phase = if params.steps_per_phase > 0 {
+            params.steps_per_phase
+        } else {
+            ((4.0 * tokens_per_message as f64 / phi).ceil() as usize)
+                .clamp(16, params.max_steps_per_phase)
+        };
+        LoadBalancePlan {
+            split,
+            phi,
+            threshold,
+            tokens_per_message,
+            steps_per_phase,
+            max_phases: params.max_phases,
+            charge_reverse: params.charge_reverse,
+        }
+    }
+}
+
 /// Outcome of a load-balancing gather.
 #[derive(Debug, Clone)]
 pub struct LoadBalanceReport {
@@ -90,29 +152,28 @@ pub fn load_balance_gather(
     params: &LoadBalanceParams,
     meter: &mut RoundMeter,
 ) -> LoadBalanceReport {
+    let plan = LoadBalancePlan::new(cluster, params);
+    load_balance_gather_with_plan(cluster, target, f, &plan, meter)
+}
+
+/// Runs the load-balancing gatherer from a pre-computed [`LoadBalancePlan`]
+/// (the memoized form of [`load_balance_gather`]: call sites that gather from
+/// the same cluster repeatedly, or compare the metered run against the
+/// executed [`crate::programs::LoadBalanceProgram`], plan once and reuse).
+pub fn load_balance_gather_with_plan(
+    cluster: &Graph,
+    target: usize,
+    f: f64,
+    plan: &LoadBalancePlan,
+    meter: &mut RoundMeter,
+) -> LoadBalanceReport {
     assert!(target < cluster.n());
-    let split = ExpanderSplit::build(cluster);
+    let split = &plan.split;
     let ports = split.num_ports();
-    let delta_split = split.max_degree().max(1);
-    let threshold = 2 * delta_split + 1;
-
-    let phi = params
-        .phi_hint
-        .unwrap_or_else(|| estimate_conductance(cluster))
-        .clamp(1e-3, 1.0);
-
-    let tokens_per_message = if params.tokens_per_message > 0 {
-        params.tokens_per_message
-    } else {
-        ((4.0 * threshold as f64 / phi).ceil() as usize)
-            .clamp(threshold + 1, params.max_tokens_per_message)
-    };
-    let steps_per_phase = if params.steps_per_phase > 0 {
-        params.steps_per_phase
-    } else {
-        ((4.0 * tokens_per_message as f64 / phi).ceil() as usize)
-            .clamp(16, params.max_steps_per_phase)
-    };
+    let threshold = plan.threshold;
+    let phi = plan.phi;
+    let tokens_per_message = plan.tokens_per_message;
+    let steps_per_phase = plan.steps_per_phase;
 
     // Message IDs are split ports. Messages belonging to the target are delivered by
     // definition.
@@ -139,7 +200,7 @@ pub fn load_balance_gather(
     let rounds_before = meter.rounds();
     let mut phases = 0usize;
 
-    while phases < params.max_phases {
+    while phases < plan.max_phases {
         let undelivered: Vec<usize> = (0..ports).filter(|&p| !delivered[p]).collect();
         let remaining = undelivered.len();
         if remaining == 0 {
@@ -222,7 +283,7 @@ pub fn load_balance_gather(
     }
 
     let forward_rounds = meter.rounds() - rounds_before;
-    if params.charge_reverse {
+    if plan.charge_reverse {
         // Running the schedule in reverse tells every vertex which of its messages
         // arrived; it costs the same number of rounds.
         meter.charge_rounds(forward_rounds);
@@ -325,6 +386,27 @@ mod tests {
         params.charge_reverse = true;
         let b = load_balance_gather(&g, 0, 0.0, &params, &mut both);
         assert_eq!(2 * a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn planning_is_pure_and_memoized() {
+        let g = generators::hypercube(4);
+        let params = LoadBalanceParams::default();
+        // Same input → same plan: the planner holds no hidden state.
+        let a = LoadBalancePlan::new(&g, &params);
+        let b = LoadBalancePlan::new(&g, &params);
+        assert_eq!(a, b);
+        assert!(a.tokens_per_message > a.threshold);
+        assert!(a.steps_per_phase >= 16);
+        // Gathering from the memoized plan is identical to re-planning inside
+        // the gather call.
+        let mut m1 = RoundMeter::new();
+        let mut m2 = RoundMeter::new();
+        let r1 = load_balance_gather(&g, 0, 0.1, &params, &mut m1);
+        let r2 = load_balance_gather_with_plan(&g, 0, 0.1, &a, &mut m2);
+        assert_eq!(r1.rounds, r2.rounds);
+        assert_eq!(r1.delivered, r2.delivered);
+        assert_eq!(r1.phases, r2.phases);
     }
 
     #[test]

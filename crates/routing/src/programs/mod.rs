@@ -1,0 +1,156 @@
+//! The §2 gather strategies as *executed* message-passing programs.
+//!
+//! Everything else in this crate is **metered**: a centralized computation
+//! that simulates the communication pattern and charges rounds on a
+//! [`mfd_congest::RoundMeter`]. The programs in this module are the
+//! **executed** counterparts — genuine [`mfd_runtime::NodeProgram`]s whose
+//! vertices only ever see their own state and their inboxes, runnable
+//! unmodified on the synchronous [`mfd_runtime::Executor`] and on the
+//! `mfd-sim` discrete-event engine:
+//!
+//! * [`TreeGatherProgram`] ⇔ [`crate::gather::tree_gather`] — BFS-tree
+//!   construction by flooding, pipelined convergecast of `deg(v)` unit
+//!   messages per vertex with in-band termination detection, and a pipelined
+//!   echo that distributes the answers back down the tree.
+//! * [`LoadBalanceProgram`] ⇔ [`crate::load_balance::load_balance_gather`] —
+//!   the Lemma 2.2 token balancing on the expander split, with per-edge load
+//!   gossip packed into the same O(log n)-bit message that carries a moving
+//!   token, sized by the shared [`crate::load_balance::LoadBalancePlan`].
+//! * [`WalkScheduleProgram`] ⇔ [`crate::walks::execute_walk_gather`] —
+//!   store-and-forward token routing along the walk trajectories of a
+//!   [`crate::walks::WalkPlan`], released by a schedule-broadcast wave and
+//!   terminated by a stop wave from the leader.
+//!
+//! # Metered vs executed accounting
+//!
+//! The metered paths *charge* the paper's round bounds; the executed programs
+//! *spend* rounds, one per synchronous step, policed by the engines'
+//! [`mfd_congest::RoundMeter`] (one O(log n)-bit word per edge per direction
+//! per round). The differential contract, validated by the integration tests
+//! and the `report gather` benchmark section, is:
+//!
+//! * **rounds**: executed ≤ charged. The metered bound includes the reverse
+//!   notification run (`charge_reverse`, on by default); the executed
+//!   programs overlap their phases (tokens start flowing while the BFS wave
+//!   is still spreading, answers are echoed while the gather is still
+//!   draining) and terminate by in-band detection, so they land well inside
+//!   the charged budget on every acceptance family.
+//! * **delivered fraction**: executed ≥ the metered guarantee. The tree
+//!   pipeline delivers everything; the walk schedule delivers *exactly* the
+//!   planned good set (both engines route the same trajectories); the load
+//!   balancer runs the same token budgets with one-round-stale neighbor
+//!   loads, which the `2Δ⋄ + 1` threshold absorbs.
+//! * **messages**: executed counts are reported next to the charged counts in
+//!   `BENCH_gather.json`. The executed programs pay for what the metered
+//!   paths idealize away (parent adoption, done markers, load gossip), so
+//!   their message counts sit above the charged ones by design; CI's
+//!   regression gate pins both.
+
+use mfd_graph::Graph;
+use mfd_runtime::{Execution, Executor, ExecutorConfig, NodeProgram, RuntimeError};
+
+mod load_balance;
+mod tree;
+mod walks;
+
+pub use load_balance::{LoadBalanceProgram, LoadBalanceState};
+pub use tree::{TreeGatherProgram, TreeGatherState};
+pub use walks::{WalkScheduleProgram, WalkScheduleState};
+
+/// Outcome of one executed gather, in the vocabulary of
+/// [`crate::gather::GatherReport`] so the two modes compare directly.
+#[derive(Debug, Clone)]
+pub struct ExecutedGather {
+    /// Rounds actually executed (and validated) by the engine.
+    pub rounds: u64,
+    /// Program messages actually delivered.
+    pub messages: u64,
+    /// Fraction of the `2|E(S)|` messages delivered to the leader.
+    pub delivered_fraction: f64,
+    /// Delivered message count per cluster vertex.
+    pub per_vertex_delivered: Vec<usize>,
+    /// Total number of gatherable messages.
+    pub total_messages: usize,
+    /// Strategy name (matches the metered report's).
+    pub strategy: &'static str,
+}
+
+/// Common reporting surface of the three gather programs.
+///
+/// The extraction is a pure function of the final states, so it applies to
+/// any engine's output: pass `Execution::states` from the synchronous
+/// executor or `SimExecution::states` from `mfd-sim`.
+pub trait GatherProgram: NodeProgram {
+    /// Strategy name, matching the metered [`crate::gather::GatherReport`].
+    fn strategy_name(&self) -> &'static str;
+
+    /// Total number of gatherable messages (`2|E|` of the cluster).
+    fn total_messages(&self) -> usize;
+
+    /// Per-vertex delivered counts, extracted from the final states.
+    fn per_vertex_delivered(&self, states: &[Self::State]) -> Vec<usize>;
+
+    /// Packages an engine's output as an [`ExecutedGather`].
+    fn executed_report(
+        &self,
+        states: &[Self::State],
+        rounds: u64,
+        messages: u64,
+    ) -> ExecutedGather {
+        let per_vertex_delivered = self.per_vertex_delivered(states);
+        let delivered: usize = per_vertex_delivered.iter().sum();
+        let total_messages = self.total_messages();
+        ExecutedGather {
+            rounds,
+            messages,
+            delivered_fraction: if total_messages == 0 {
+                1.0
+            } else {
+                delivered as f64 / total_messages as f64
+            },
+            per_vertex_delivered,
+            total_messages,
+            strategy: self.strategy_name(),
+        }
+    }
+}
+
+/// Asserts that a plan's expander split was built for exactly this cluster:
+/// the per-vertex port ranges must reproduce the cluster's degree sequence
+/// (a total-count check alone would accept any graph with the same degree
+/// sum and then build garbage routing tables).
+pub(crate) fn assert_plan_matches(cluster: &Graph, split: &crate::split::ExpanderSplit) {
+    assert_eq!(
+        split.port_offset.len(),
+        cluster.n(),
+        "plan does not match the cluster"
+    );
+    let mut expected = 0usize;
+    for v in 0..cluster.n() {
+        assert_eq!(
+            split.port_offset[v], expected,
+            "plan does not match the cluster"
+        );
+        expected += cluster.degree(v).max(1);
+    }
+    assert_eq!(
+        split.num_ports(),
+        expected,
+        "plan does not match the cluster"
+    );
+}
+
+/// Runs a gather program on the synchronous executor and reports it.
+///
+/// # Errors
+///
+/// Propagates any [`RuntimeError`] from the executor.
+pub fn execute_gather<P: GatherProgram>(
+    cluster: &Graph,
+    program: &P,
+    config: &ExecutorConfig,
+) -> Result<(ExecutedGather, Execution<P::State>), RuntimeError> {
+    let run = Executor::new(config.clone()).run(cluster, program)?;
+    let report = program.executed_report(&run.states, run.rounds, run.messages);
+    Ok((report, run))
+}

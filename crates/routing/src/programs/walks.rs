@@ -1,0 +1,362 @@
+//! The executed walk-schedule gatherer (Lemmas 2.5/2.6).
+//!
+//! The leader plans a [`WalkPlan`] locally (free computation — it knows the
+//! cluster topology), then the cluster executes it:
+//!
+//! 1. **Schedule wave** — the leader floods an announcement carrying the
+//!    64-bit schedule seed; hearing it both activates a vertex and tells it
+//!    to forward the wave. (The metered path charges the paper's much larger
+//!    O(k log n)-bit hash-description broadcast for this step; the executed
+//!    program ships the implementation's actual one-word seed, so its
+//!    broadcast cost sits far inside the charged bound.)
+//! 2. **Token forwarding** — each *good* message is routed along its
+//!    delivering walk, projected from the expander split onto the cluster:
+//!    gadget-internal walk steps are free local moves, each external step is
+//!    one cluster edge. Tokens are forwarded store-and-forward, one token per
+//!    edge per direction per round with per-edge FIFO queues; the plan's
+//!    congestion cap bounds the queueing. Both engines reproduce the
+//!    trajectories through the planner's own [`crate::walks::walk_step`], so
+//!    the executed delivered set equals the planned good set *exactly*.
+//! 3. **Stop wave** — the leader knows how many tokens to expect; when the
+//!    last one arrives it floods a stop wave and the cluster halts.
+
+use std::collections::VecDeque;
+
+use mfd_graph::Graph;
+use mfd_runtime::{Envelope, NodeCtx, NodeProgram, Outbox, RuntimeMessage};
+
+use crate::walks::{walk_step, WalkPlan};
+
+use super::GatherProgram;
+
+/// Message vocabulary of the executed walk schedule; one O(log n)-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkMsg {
+    /// Schedule wave (conceptually the 64-bit seed).
+    Announce,
+    /// A routed message token: `hop` is the receiver's index on the token's
+    /// projected path.
+    Token {
+        /// Token id (index into the program's path table).
+        id: u32,
+        /// Path position of the receiver.
+        hop: u32,
+    },
+    /// Every expected token reached the leader: halt after forwarding.
+    Stop,
+}
+
+impl RuntimeMessage for WalkMsg {}
+
+/// Per-vertex state of [`WalkScheduleProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkScheduleState {
+    activated: bool,
+    announced: bool,
+    /// FIFO token queue per neighbor (in `ctx.neighbors` order).
+    queues: Vec<VecDeque<(u32, u32)>>,
+    /// Leader only: tokens absorbed per source vertex.
+    pub absorbed_from: Vec<u64>,
+    absorbed_total: u64,
+    stop_relayed: bool,
+    done: bool,
+}
+
+/// The derandomized walk-schedule gatherer as a real message-passing program;
+/// executed counterpart of [`crate::walks::execute_walk_gather`], routing the
+/// same [`WalkPlan`].
+#[derive(Debug, Clone)]
+pub struct WalkScheduleProgram {
+    target: usize,
+    degrees: Vec<usize>,
+    total_messages: usize,
+    /// Per token: the projected cluster-vertex path from owner to the leader
+    /// (truncated at the first leader visit).
+    paths: Vec<Vec<usize>>,
+    /// Token ids released by each vertex, ascending.
+    tokens_of: Vec<Vec<u32>>,
+    expected: u64,
+    budget: u64,
+}
+
+impl WalkScheduleProgram {
+    /// Builds the executed program routing `plan`'s good messages on
+    /// `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was built for a different cluster.
+    pub fn new(cluster: &Graph, plan: &WalkPlan) -> Self {
+        let split = &plan.split;
+        let target = plan.schedule.target;
+        let seed = plan.schedule.seed;
+        let r = plan.schedule.walks_per_message;
+        let tau = plan.schedule.steps;
+        let ports = split.num_ports();
+        super::assert_plan_matches(cluster, split);
+        assert_eq!(plan.good.len(), ports, "plan does not match the cluster");
+        let mut target_port = vec![false; ports];
+        for p in split.ports(target, cluster) {
+            target_port[p] = true;
+        }
+        let mut paths: Vec<Vec<usize>> = Vec::new();
+        let mut tokens_of: Vec<Vec<u32>> = vec![Vec::new(); cluster.n()];
+        for p in 0..ports {
+            let owner = split.owner[p];
+            if owner == target || cluster.degree(owner) == 0 || !plan.good[p] {
+                continue;
+            }
+            // The message's delivering walk: the first of its r walks ending
+            // in the leader's gadget (goodness guarantees one exists).
+            let mut delivering = None;
+            'walks: for w in 0..r {
+                let walk_id = (p * r + w) as u64;
+                let mut cur = p;
+                let mut trail = Vec::with_capacity(tau + 1);
+                trail.push(cur);
+                for t in 0..tau {
+                    cur = walk_step(split, seed, walk_id, t, cur);
+                    trail.push(cur);
+                }
+                if target_port[cur] {
+                    delivering = Some(trail);
+                    break 'walks;
+                }
+            }
+            let trail = delivering.expect("a good message has a delivering walk");
+            // Project onto the cluster: consecutive distinct owners are
+            // exactly the external steps, i.e. cluster edges. Stop at the
+            // first leader visit — the message is delivered there.
+            let mut path = vec![owner];
+            for q in trail {
+                let v = split.owner[q];
+                if *path.last().expect("non-empty") != v {
+                    path.push(v);
+                    if v == target {
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(*path.last().expect("non-empty"), target);
+            tokens_of[owner].push(paths.len() as u32);
+            paths.push(path);
+        }
+        let expected = paths.len() as u64;
+        let hops: u64 = paths.iter().map(|p| (p.len() - 1) as u64).sum();
+        WalkScheduleProgram {
+            target,
+            degrees: (0..cluster.n()).map(|v| cluster.degree(v)).collect(),
+            total_messages: 2 * cluster.m(),
+            paths,
+            tokens_of,
+            expected,
+            // Wave + stop wave are each ≤ n rounds; total forwarding work is
+            // `hops`, and a token waits at most the whole remaining workload.
+            budget: 2 * cluster.n() as u64 + 2 * hops + 16,
+        }
+    }
+}
+
+impl NodeProgram for WalkScheduleProgram {
+    type State = WalkScheduleState;
+    type Msg = WalkMsg;
+
+    fn init(&self, ctx: &NodeCtx) -> WalkScheduleState {
+        let is_target = ctx.id == self.target;
+        WalkScheduleState {
+            activated: is_target,
+            announced: false,
+            queues: vec![VecDeque::new(); ctx.degree()],
+            absorbed_from: if is_target {
+                vec![0; ctx.n]
+            } else {
+                Vec::new()
+            },
+            absorbed_total: 0,
+            stop_relayed: false,
+            done: ctx.degree() == 0,
+        }
+    }
+
+    fn round(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut WalkScheduleState,
+        inbox: &[Envelope<WalkMsg>],
+        out: &mut Outbox<'_, WalkMsg>,
+    ) {
+        let was_announced = state.announced;
+        let mut stop = false;
+        for env in inbox {
+            match env.msg {
+                WalkMsg::Announce => state.activated = true,
+                WalkMsg::Token { id, hop } => {
+                    let path = &self.paths[id as usize];
+                    let hop = hop as usize;
+                    debug_assert_eq!(path[hop], ctx.id);
+                    if hop == path.len() - 1 {
+                        state.absorbed_from[path[0]] += 1;
+                        state.absorbed_total += 1;
+                    } else {
+                        let next = path[hop + 1];
+                        let qi = ctx
+                            .neighbors
+                            .binary_search(&next)
+                            .expect("path hops follow cluster edges");
+                        state.queues[qi].push_back((id, hop as u32));
+                    }
+                }
+                WalkMsg::Stop => stop = true,
+            }
+        }
+
+        if stop {
+            debug_assert!(state.queues.iter().all(VecDeque::is_empty));
+            if !state.stop_relayed {
+                out.broadcast(WalkMsg::Stop);
+                state.stop_relayed = true;
+            }
+            state.done = true;
+            return;
+        }
+
+        if state.activated && !state.announced {
+            // Activation round: forward the schedule wave and release this
+            // vertex's own tokens (they start moving next round — the wave
+            // owns the edges this round).
+            state.announced = true;
+            out.broadcast(WalkMsg::Announce);
+            for &id in &self.tokens_of[ctx.id] {
+                let next = self.paths[id as usize][1];
+                let qi = ctx
+                    .neighbors
+                    .binary_search(&next)
+                    .expect("path hops follow cluster edges");
+                state.queues[qi].push_back((id, 0));
+            }
+        } else if was_announced {
+            if ctx.id == self.target && state.absorbed_total == self.expected {
+                out.broadcast(WalkMsg::Stop);
+                state.stop_relayed = true;
+                state.done = true;
+                return;
+            }
+            for (qi, queue) in state.queues.iter_mut().enumerate() {
+                if let Some((id, hop)) = queue.pop_front() {
+                    out.send(ctx.neighbors[qi], WalkMsg::Token { id, hop: hop + 1 });
+                }
+            }
+        }
+
+        if !state.activated && ctx.round > ctx.n as u64 {
+            // The wave reaches every vertex of the leader's component within
+            // n rounds; past that this vertex is provably outside it.
+            state.done = true;
+        }
+    }
+
+    fn halted(&self, _ctx: &NodeCtx, state: &WalkScheduleState) -> bool {
+        state.done
+    }
+
+    fn round_budget_hint(&self) -> Option<u64> {
+        Some(self.budget + 8)
+    }
+
+    /// Same timeout-vs-fixpoint trade as the tree gather: a vertex the
+    /// schedule wave has not reached is pure frontier-waiting.
+    fn quiescent(&self, _ctx: &NodeCtx, state: &WalkScheduleState) -> bool {
+        !state.activated
+    }
+}
+
+impl GatherProgram for WalkScheduleProgram {
+    fn strategy_name(&self) -> &'static str {
+        "walk-schedule"
+    }
+
+    fn total_messages(&self) -> usize {
+        self.total_messages
+    }
+
+    fn per_vertex_delivered(&self, states: &[WalkScheduleState]) -> Vec<usize> {
+        let mut per_vertex = vec![0usize; self.degrees.len()];
+        if let Some(target_state) = states.get(self.target) {
+            for (v, &count) in target_state.absorbed_from.iter().enumerate() {
+                per_vertex[v] = count as usize;
+            }
+        }
+        if self.target < per_vertex.len() {
+            // The leader's own messages are delivered by definition.
+            per_vertex[self.target] = self.degrees[self.target];
+        }
+        per_vertex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walks::{execute_walk_gather, plan_walk_schedule, WalkParams};
+    use mfd_congest::RoundMeter;
+    use mfd_graph::generators;
+    use mfd_runtime::ExecutorConfig;
+
+    #[test]
+    fn executed_delivery_equals_the_planned_good_set() {
+        for g in [
+            generators::complete(10),
+            generators::hypercube(4),
+            generators::wheel(32),
+        ] {
+            let params = WalkParams::default();
+            let plan = plan_walk_schedule(&g, 0, 0.2, &params);
+            let mut meter = RoundMeter::new();
+            let charged = execute_walk_gather(&g, &plan, &params, &mut meter);
+            let program = WalkScheduleProgram::new(&g, &plan);
+            let (report, _) =
+                super::super::execute_gather(&g, &program, &ExecutorConfig::default()).unwrap();
+            assert_eq!(
+                report.per_vertex_delivered,
+                charged.per_vertex_delivered,
+                "n={} m={}",
+                g.n(),
+                g.m()
+            );
+            assert!((report.delivered_fraction - charged.delivered_fraction).abs() < 1e-12);
+            assert!(
+                report.rounds <= charged.rounds,
+                "executed {} > charged {}",
+                report.rounds,
+                charged.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn paths_follow_cluster_edges() {
+        let g = generators::hypercube(4);
+        let plan = plan_walk_schedule(&g, 0, 0.2, &WalkParams::default());
+        let program = WalkScheduleProgram::new(&g, &plan);
+        for path in &program.paths {
+            assert!(path.len() >= 2);
+            assert_eq!(*path.last().unwrap(), 0);
+            for pair in path.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]), "non-edge hop {pair:?}");
+            }
+            // Delivered exactly once: the leader appears only as the endpoint.
+            assert!(path[..path.len() - 1].iter().all(|&v| v != 0));
+        }
+    }
+
+    #[test]
+    fn empty_cluster_is_free() {
+        let g = Graph::new(2);
+        let plan = plan_walk_schedule(&g, 0, 0.1, &WalkParams::default());
+        let program = WalkScheduleProgram::new(&g, &plan);
+        let (report, _) =
+            super::super::execute_gather(&g, &program, &ExecutorConfig::default()).unwrap();
+        assert_eq!(report.rounds, 0);
+        assert!((report.delivered_fraction - 1.0).abs() < 1e-12);
+    }
+}

@@ -11,7 +11,7 @@
 use mfd_graph::Graph;
 
 /// The expander split of a graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpanderSplit {
     /// The split graph `G⋄` on `2m` port vertices.
     pub split: Graph,

@@ -72,10 +72,19 @@ pub struct WalkSchedule {
 }
 
 /// Outcome of planning a schedule (a purely local computation at the leader).
+///
+/// The plan memoizes everything derived from the cluster topology — the
+/// expander split (whose construction is linear but repeated at every call
+/// site otherwise) and the mixing-time estimate baked into
+/// [`WalkSchedule::steps`] — so executing or re-executing a schedule never
+/// re-runs the spectral estimators. Planning is pure: the same cluster,
+/// target, failure budget and parameters always produce the same plan.
 #[derive(Debug, Clone)]
 pub struct WalkPlan {
     /// The chosen schedule.
     pub schedule: WalkSchedule,
+    /// The expander split the walks run on (memoized from planning).
+    pub split: ExpanderSplit,
     /// Per-message goodness under the chosen seed (indexed by split port).
     pub good: Vec<bool>,
     /// Fraction of messages that are good.
@@ -207,10 +216,36 @@ pub fn plan_walk_schedule(cluster: &Graph, target: usize, f: f64, params: &WalkP
             target,
             schedule_words,
         },
+        split,
         good,
         good_fraction,
         seeds_tried,
     }
+}
+
+/// One step of the seeded lazy walk `walk_id` at time `t` from split vertex
+/// `cur`: stay put with probability 1/2, otherwise hop to a pseudo-randomly
+/// chosen split neighbor. Pure in `(seed, walk_id, t, cur)` — the planner, the
+/// goodness checker and the executed [`crate::programs::WalkScheduleProgram`]
+/// all reproduce trajectories through this one function, so they can never
+/// disagree about where a walk goes.
+pub(crate) fn walk_step(
+    split: &ExpanderSplit,
+    seed: u64,
+    walk_id: u64,
+    t: usize,
+    cur: usize,
+) -> usize {
+    let h = splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
+    let lazy = h & 1 == 0;
+    if !lazy {
+        let nbrs = split.split.neighbors(cur);
+        if !nbrs.is_empty() {
+            let pick = (splitmix64(h ^ 0xabcd) as usize) % nbrs.len();
+            return nbrs[pick];
+        }
+    }
+    cur
 }
 
 /// Simulates all walks for one seed and reports which messages are good.
@@ -251,16 +286,7 @@ fn evaluate_seed(
             visits[p] += 1;
             let mut cur = p;
             for t in 0..tau {
-                let h =
-                    splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
-                let lazy = h & 1 == 0;
-                if !lazy {
-                    let nbrs = split.split.neighbors(cur);
-                    if !nbrs.is_empty() {
-                        let pick = (splitmix64(h ^ 0xabcd) as usize) % nbrs.len();
-                        cur = nbrs[pick];
-                    }
-                }
+                cur = walk_step(split, seed, walk_id, t, cur);
                 visits[(t + 1) * ports + cur] += 1;
             }
             if target_ports[cur] {
@@ -292,16 +318,7 @@ fn evaluate_seed(
                 break;
             }
             for t in 0..tau {
-                let h =
-                    splitmix64(seed ^ splitmix64(walk_id.wrapping_mul(0x9e37) ^ (t as u64) << 1));
-                let lazy = h & 1 == 0;
-                if !lazy {
-                    let nbrs = split.split.neighbors(cur);
-                    if !nbrs.is_empty() {
-                        let pick = (splitmix64(h ^ 0xabcd) as usize) % nbrs.len();
-                        cur = nbrs[pick];
-                    }
-                }
+                cur = walk_step(split, seed, walk_id, t, cur);
                 if visits[(t + 1) * ports + cur] > cap {
                     congested = true;
                     break 'walks;
@@ -344,7 +361,7 @@ pub fn execute_walk_gather(
         * (schedule.walks_per_message as u64)
         * (schedule.steps as u64);
     meter.charge_rounds(exec_rounds);
-    let split = ExpanderSplit::build(cluster);
+    let split = &plan.split;
     meter
         .charge_messages((plan.good.iter().filter(|&&g| g).count() as u64) * schedule.steps as u64);
     if params.charge_reverse {
@@ -452,7 +469,7 @@ pub fn plan_common_schedule(
     let (seed, per_cluster, _) = best.expect("at least one seed tried");
     clusters
         .iter()
-        .zip(&splits)
+        .zip(splits)
         .zip(per_cluster)
         .map(|(((g, target), s), (good, _))| {
             let goods = good.iter().filter(|&&b| b).count();
@@ -468,6 +485,7 @@ pub fn plan_common_schedule(
                     target: *target,
                     schedule_words: (k_bits * id_bits).div_ceil(64).max(1),
                 },
+                split: s,
                 good_fraction: if total == 0 {
                     1.0
                 } else {

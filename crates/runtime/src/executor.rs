@@ -145,6 +145,10 @@ impl Executor {
     ) -> Result<Execution<P::State>, RuntimeError> {
         let n = g.n();
         let seed = self.config.seed;
+        let max_rounds = self
+            .config
+            .max_rounds
+            .min(program.round_budget_hint().unwrap_or(u64::MAX));
         let sorted_adj = driver::sorted_adjacency(g);
 
         let ctx_at = |v: usize, round: u64| NodeCtx::new(v, n, round, &sorted_adj[v], seed);
@@ -185,10 +189,8 @@ impl Executor {
             if !active.iter().any(|&a| a) {
                 break;
             }
-            if round > self.config.max_rounds {
-                return Err(RuntimeError::RoundLimit {
-                    limit: self.config.max_rounds,
-                });
+            if round > max_rounds {
+                return Err(RuntimeError::RoundLimit { limit: max_rounds });
             }
             // Parallel vertex sweep over the active set. Skipped vertices
             // cost one quiescence check instead of an outbox and a program

@@ -223,6 +223,22 @@ pub trait NodeProgram: Sync {
     /// stops when every vertex has halted.
     fn halted(&self, ctx: &NodeCtx, state: &Self::State) -> bool;
 
+    /// Declares an upper bound on the local rounds this program can
+    /// legitimately need on the graph it was built for.
+    ///
+    /// Engines cap their round budget at
+    /// `min(config.max_rounds, hint)`, so a multi-phase program that wedges
+    /// in one of its phases (a lost control message, a quota that never
+    /// fills) fails fast with [`crate::RuntimeError::RoundLimit`] instead of
+    /// spinning to the engine-wide default of a million rounds. Programs
+    /// that halt on an internal round budget must return a hint strictly
+    /// *above* that budget (the budget round itself still has to execute).
+    ///
+    /// The default (`None`) leaves the engine configuration in charge.
+    fn round_budget_hint(&self) -> Option<u64> {
+        None
+    }
+
     /// Declares that running this vertex with an **empty inbox** would be a
     /// no-op: no state change, no sends, no halting transition.
     ///

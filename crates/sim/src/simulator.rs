@@ -180,6 +180,9 @@ struct Engine<'a, P: NodeProgram> {
     program: &'a P,
     adj: &'a [Vec<usize>],
     config: &'a SimConfig,
+    /// Effective round budget: the configured cap, tightened by the
+    /// program's [`NodeProgram::round_budget_hint`].
+    max_rounds: u64,
     n: usize,
     states: Vec<P::State>,
     vx: Vec<VertexSim<P::Msg>>,
@@ -256,6 +259,9 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
             program,
             adj,
             config,
+            max_rounds: config
+                .max_rounds
+                .min(program.round_budget_hint().unwrap_or(u64::MAX)),
             n,
             states,
             vx,
@@ -448,9 +454,9 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
 
     fn execute_round(&mut self, v: usize, now: u64) -> Result<(), RuntimeError> {
         let r = self.vx[v].next_round;
-        if r > self.config.max_rounds {
+        if r > self.max_rounds {
             return Err(RuntimeError::RoundLimit {
-                limit: self.config.max_rounds,
+                limit: self.max_rounds,
             });
         }
         // The synchronous inbox for round r: tag r-1 payloads, flattened in

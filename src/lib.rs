@@ -3,15 +3,16 @@
 //! Re-exports the library crates under one roof so downstream users (and the
 //! repo-level integration tests and examples) can depend on a single package:
 //!
-//! * [`graph`](mfd_graph) — graphs, generators, planarity, structural properties.
-//! * [`congest`](mfd_congest) — round/bandwidth accounting and metered primitives.
-//! * [`core`](mfd_core) — the paper's deterministic decompositions.
-//! * [`routing`](mfd_routing) — information-gathering strategies (§2).
-//! * [`runtime`](mfd_runtime) — the parallel round-synchronous execution engine.
-//! * [`sim`](mfd_sim) — the deterministic discrete-event asynchronous simulator
+//! * [`graph`] — graphs, generators, planarity, structural properties.
+//! * [`congest`] — round/bandwidth accounting and metered primitives.
+//! * [`core`] — the paper's deterministic decompositions.
+//! * [`routing`] — information-gathering strategies (§2), metered and executed.
+//! * [`runtime`] — the parallel round-synchronous execution engine.
+//! * [`sim`] — the deterministic discrete-event asynchronous simulator
 //!   (latency models + α-synchronizer).
-//! * [`apps`](mfd_apps) — applications (MIS, matching, cover, cut, testing).
-//! * [`bench`](mfd_bench) — benchmark workloads and table formatting.
+//! * [`apps`] — applications (MIS, matching, cover, cut, testing).
+//! * [`bench`](mod@bench) — benchmark workloads, table formatting, and the
+//!   JSON tooling behind the CI regression gate.
 
 pub use mfd_apps as apps;
 pub use mfd_bench as bench;

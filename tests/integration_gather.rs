@@ -1,0 +1,304 @@
+//! Cross-crate integration tests for the executed §2 gather programs: the
+//! three strategies run as real `NodeProgram`s on both engines and are
+//! differentially validated against the metered implementations.
+
+use mfd_congest::RoundMeter;
+use mfd_graph::{generators, Graph};
+use mfd_routing::gather::{gather_to_leader, tree_gather, GatherStrategy};
+use mfd_routing::load_balance::{LoadBalanceParams, LoadBalancePlan};
+use mfd_routing::programs::{
+    execute_gather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
+};
+use mfd_routing::walks::{plan_walk_schedule, WalkParams, WalkPlan};
+use mfd_runtime::ExecutorConfig;
+use mfd_sim::{run_both, LatencyModel, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// The acceptance families every executed strategy is validated on.
+fn acceptance_families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("tri-grid-8x8", generators::triangulated_grid(8, 8)),
+        ("wheel-64", generators::wheel(64)),
+        ("hypercube-6", generators::hypercube(6)),
+    ]
+}
+
+fn max_degree_vertex(g: &Graph) -> usize {
+    (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap()
+}
+
+/// Walk parameters with tighter caps than the defaults: the differential
+/// contract is identical (metered and executed share the plan), but the
+/// leader-local seed search stays cheap enough for debug-mode CI.
+fn test_walk_params() -> WalkParams {
+    WalkParams {
+        max_seed_tries: 6,
+        max_walks_per_message: 16,
+        max_steps: 256,
+        ..WalkParams::default()
+    }
+}
+
+#[test]
+fn tree_program_matches_both_engines_bit_for_bit() {
+    for (name, g) in acceptance_families() {
+        let program = TreeGatherProgram::new(&g, max_degree_vertex(&g));
+        let (sync, sim) = run_both(
+            &g,
+            &program,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        assert_eq!(sync.states, sim.states, "{name}");
+        assert_eq!(sync.rounds, sim.rounds, "{name}");
+        assert_eq!(sync.messages, sim.messages, "{name}");
+        assert_eq!(
+            sync.meter.max_words_on_edge(),
+            sim.meter.max_words_on_edge(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn load_balance_program_matches_both_engines_bit_for_bit() {
+    for (name, g) in acceptance_families() {
+        let leader = max_degree_vertex(&g);
+        let plan = LoadBalancePlan::new(&g, &LoadBalanceParams::default());
+        let program = LoadBalanceProgram::new(&g, leader, 0.1, &plan);
+        let (sync, sim) = run_both(
+            &g,
+            &program,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        assert_eq!(sync.states, sim.states, "{name}");
+        assert_eq!(sync.rounds, sim.rounds, "{name}");
+        assert_eq!(sync.messages, sim.messages, "{name}");
+    }
+}
+
+#[test]
+fn walk_program_matches_both_engines_bit_for_bit() {
+    for (name, g) in acceptance_families() {
+        let leader = max_degree_vertex(&g);
+        let plan = plan_walk_schedule(&g, leader, 0.2, &test_walk_params());
+        let program = WalkScheduleProgram::new(&g, &plan);
+        let (sync, sim) = run_both(
+            &g,
+            &program,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        assert_eq!(sync.states, sim.states, "{name}");
+        assert_eq!(sync.rounds, sim.rounds, "{name}");
+        assert_eq!(sync.messages, sim.messages, "{name}");
+    }
+}
+
+/// Latency changes completion *times*, never the synchronous round structure:
+/// the α-synchronizer preserves each program's rounds and messages under
+/// non-trivial delay distributions.
+#[test]
+fn gather_rounds_are_latency_invariant() {
+    let g = generators::wheel(48);
+    let leader = max_degree_vertex(&g);
+    let program = TreeGatherProgram::new(&g, leader);
+    let cfg = ExecutorConfig::default();
+    let sync = mfd_runtime::Executor::new(cfg.clone())
+        .run(&g, &program)
+        .unwrap();
+    for latency in [
+        LatencyModel::Fixed(3),
+        LatencyModel::Uniform { lo: 1, hi: 7 },
+        LatencyModel::HeavyTail {
+            min: 1,
+            alpha: 1.3,
+            cap: 50,
+        },
+    ] {
+        let sim = Simulator::new(SimConfig::matching(&cfg, latency))
+            .run(&g, &program)
+            .unwrap();
+        assert_eq!(sim.rounds, sync.rounds);
+        assert_eq!(sim.messages, sync.messages);
+        assert!(sim.makespan >= sim.rounds - 1);
+        let report = program.executed_report(&sim.states, sim.rounds, sim.messages);
+        assert!((report.delivered_fraction - 1.0).abs() < 1e-12);
+    }
+}
+
+/// The acceptance criterion of the executed layer: on every acceptance
+/// family, every strategy's executed round count sits within the metered
+/// implementation's charged bound, and the executed delivery meets the
+/// metered guarantee.
+#[test]
+fn executed_rounds_within_charged_bound_on_acceptance_families() {
+    let f = 0.1;
+    for (name, g) in acceptance_families() {
+        let leader = max_degree_vertex(&g);
+        let cfg = ExecutorConfig::default();
+
+        // Tree pipeline: full delivery, identical per-vertex counts.
+        let mut meter = RoundMeter::new();
+        let charged = tree_gather(&g, leader, &mut meter);
+        let program = TreeGatherProgram::new(&g, leader);
+        let (executed, _) = execute_gather(&g, &program, &cfg).unwrap();
+        assert!(
+            executed.rounds <= charged.rounds,
+            "tree on {name}: executed {} > charged {}",
+            executed.rounds,
+            charged.rounds
+        );
+        assert_eq!(executed.per_vertex_delivered, charged.per_vertex_delivered);
+
+        // Load balance: same plan, executed delivery within the failure
+        // budget whenever the metered run met it.
+        let plan = LoadBalancePlan::new(&g, &LoadBalanceParams::default());
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::load_balance::load_balance_gather_with_plan(
+            &g, leader, f, &plan, &mut meter,
+        );
+        let program = LoadBalanceProgram::new(&g, leader, f, &plan);
+        let (executed, _) = execute_gather(&g, &program, &cfg).unwrap();
+        assert!(
+            executed.rounds <= charged.rounds,
+            "load-balance on {name}: executed {} > charged {}",
+            executed.rounds,
+            charged.rounds
+        );
+        if charged.delivered_fraction >= 1.0 - f {
+            assert!(
+                executed.delivered_fraction >= 1.0 - f,
+                "load-balance on {name}: executed delivered {}",
+                executed.delivered_fraction
+            );
+        }
+
+        // Walk schedule: the executed delivery equals the planned good set.
+        let params = test_walk_params();
+        let plan = plan_walk_schedule(&g, leader, 0.2, &params);
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::walks::execute_walk_gather(&g, &plan, &params, &mut meter);
+        let program = WalkScheduleProgram::new(&g, &plan);
+        let (executed, _) = execute_gather(&g, &program, &cfg).unwrap();
+        assert!(
+            executed.rounds <= charged.rounds,
+            "walk on {name}: executed {} > charged {}",
+            executed.rounds,
+            charged.rounds
+        );
+        assert_eq!(executed.per_vertex_delivered, charged.per_vertex_delivered);
+    }
+}
+
+/// The planners are pure: same input, same plan — including the memoized
+/// split and spectral estimates.
+#[test]
+fn planners_are_pure() {
+    let g = generators::random_apollonian(48, 7);
+    let lb_params = LoadBalanceParams::default();
+    let a = LoadBalancePlan::new(&g, &lb_params);
+    let b = LoadBalancePlan::new(&g, &lb_params);
+    assert_eq!(a, b);
+
+    let wp = test_walk_params();
+    let p1: WalkPlan = plan_walk_schedule(&g, 0, 0.15, &wp);
+    let p2: WalkPlan = plan_walk_schedule(&g, 0, 0.15, &wp);
+    assert_eq!(p1.schedule, p2.schedule);
+    assert_eq!(p1.split, p2.split);
+    assert_eq!(p1.good, p2.good);
+    assert_eq!(p1.seeds_tried, p2.seeds_tried);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random connected cluster graphs and seeds: the executed tree gather
+    /// always delivers everything the metered gather reports, bit-for-bit
+    /// across engines.
+    #[test]
+    fn executed_tree_gather_delivers_on_random_clusters(n in 8usize..40, seed in 0u64..500) {
+        let g = generators::random_apollonian(n, seed);
+        let leader = max_degree_vertex(&g);
+        let mut meter = RoundMeter::new();
+        let charged = gather_to_leader(&g, leader, 0.1, &GatherStrategy::TreePipeline, &mut meter);
+        let program = TreeGatherProgram::new(&g, leader);
+        let (sync, sim) = run_both(
+            &g,
+            &program,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        prop_assert_eq!(sync.states, sim.states);
+        prop_assert_eq!(sync.rounds, sim.rounds);
+        let executed = program.executed_report(&sim.states, sim.rounds, sim.messages);
+        prop_assert!(executed.rounds <= charged.rounds,
+            "executed {} > charged {}", executed.rounds, charged.rounds);
+        prop_assert!((executed.delivered_fraction - 1.0).abs() < 1e-12);
+        prop_assert_eq!(executed.per_vertex_delivered, charged.per_vertex_delivered);
+    }
+
+    /// Random clusters: executed load-balance delivery meets the metered
+    /// report's guarantee (the failure budget whenever the metered run met
+    /// it), and `Fixed(1)` simulation is identical to the executor.
+    #[test]
+    fn executed_load_balance_meets_metered_guarantee(n in 8usize..32, seed in 0u64..500) {
+        let g = generators::random_apollonian(n, seed);
+        let leader = max_degree_vertex(&g);
+        let f = 0.2;
+        let plan = LoadBalancePlan::new(&g, &LoadBalanceParams::default());
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::load_balance::load_balance_gather_with_plan(
+            &g, leader, f, &plan, &mut meter,
+        );
+        let program = LoadBalanceProgram::new(&g, leader, f, &plan);
+        let (sync, sim) = run_both(
+            &g,
+            &program,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        prop_assert_eq!(sync.states, sim.states);
+        prop_assert_eq!(sync.rounds, sim.rounds);
+        prop_assert_eq!(sync.messages, sim.messages);
+        let executed = program.executed_report(&sync.states, sync.rounds, sync.messages);
+        let guarantee = charged.delivered_fraction.min(1.0 - f);
+        prop_assert!(
+            executed.delivered_fraction >= guarantee - 1e-12,
+            "executed delivered {} < metered guarantee {}",
+            executed.delivered_fraction,
+            guarantee
+        );
+    }
+
+    /// Random clusters: the executed walk schedule delivers exactly the
+    /// planned good set on both engines.
+    #[test]
+    fn executed_walk_schedule_delivers_planned_set(n in 8usize..32, seed in 0u64..500) {
+        let g = generators::random_apollonian(n, seed);
+        let leader = max_degree_vertex(&g);
+        let params = test_walk_params();
+        let plan = plan_walk_schedule(&g, leader, 0.25, &params);
+        let mut meter = RoundMeter::new();
+        let charged = mfd_routing::walks::execute_walk_gather(&g, &plan, &params, &mut meter);
+        let program = WalkScheduleProgram::new(&g, &plan);
+        let (sync, sim) = run_both(
+            &g,
+            &program,
+            &ExecutorConfig::default(),
+            LatencyModel::Fixed(1),
+        )
+        .unwrap();
+        prop_assert_eq!(sync.states, sim.states);
+        prop_assert_eq!(sync.rounds, sim.rounds);
+        let executed = program.executed_report(&sync.states, sync.rounds, sync.messages);
+        prop_assert_eq!(executed.per_vertex_delivered, charged.per_vertex_delivered);
+        prop_assert!(executed.rounds <= charged.rounds);
+    }
+}
