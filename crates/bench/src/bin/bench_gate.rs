@@ -17,7 +17,7 @@
 //! missing from every bench file fails, so benchmarks cannot silently
 //! disappear.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use mfd_bench::json::{parse, Value};
@@ -25,11 +25,22 @@ use mfd_bench::json::{parse, Value};
 /// Regression tolerance: a metric may grow by at most this factor.
 const TOLERANCE: f64 = 1.10;
 
-/// The gated metrics of one series.
+/// Retransmission counts breathe harder under protocol tuning than round
+/// counts do, so they get a little more headroom.
+const RETRANSMIT_TOLERANCE: f64 = 1.25;
+
+/// A delivered fraction may drop by at most this much (absolute — the
+/// metric lives in `[0, 1]`).
+const DELIVERED_SLACK: f64 = 0.05;
+
+/// The gated metrics of one series. `delivered` and `retransmits` are gated
+/// only where the series reports them (the gather and faults schemas).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Metrics {
     rounds: f64,
     messages: f64,
+    delivered: Option<f64>,
+    retransmits: Option<f64>,
 }
 
 fn main() -> ExitCode {
@@ -44,22 +55,45 @@ fn main() -> ExitCode {
     }
     let baselines_path = &paths[0];
     let mut current: BTreeMap<String, Metrics> = BTreeMap::new();
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
     for path in &paths[1..] {
-        if let Err(msg) = collect_series(path, &mut current) {
+        if let Err(msg) = collect_series(path, &mut current, &mut kinds) {
             eprintln!("bench_gate: {path}: {msg}");
             return ExitCode::FAILURE;
         }
     }
 
     if update {
-        let body = render_baselines(&current);
+        // Merge per schema kind: per-section runs are the normal workflow,
+        // and a faults-only refresh must not silently delete the
+        // runtime/gather baselines (the per-kind disappeared-check would
+        // never notice the loss).
+        let mut merged = match std::fs::metadata(baselines_path) {
+            Ok(_) => match load_baselines(baselines_path) {
+                Ok(existing) => existing,
+                Err(msg) => {
+                    eprintln!("bench_gate: {baselines_path}: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => BTreeMap::new(),
+        };
+        merged.retain(|key, _| {
+            let kind = key.split('|').next().unwrap_or_default();
+            !kinds.contains(kind)
+        });
+        let kept = merged.len();
+        merged.extend(current.iter().map(|(k, v)| (k.clone(), *v)));
+        let body = render_baselines(&merged);
         if let Err(e) = std::fs::write(baselines_path, body) {
             eprintln!("bench_gate: write {baselines_path}: {e}");
             return ExitCode::FAILURE;
         }
         println!(
-            "bench_gate: wrote {} series to {baselines_path}",
-            current.len()
+            "bench_gate: wrote {} series to {baselines_path} ({} refreshed, {} kept)",
+            merged.len(),
+            current.len(),
+            kept
         );
         return ExitCode::SUCCESS;
     }
@@ -74,20 +108,45 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     for (key, base) in &baselines {
+        // A baseline series is only expected in runs that regenerated its
+        // schema kind: jobs gate per-section (`report --section ...`), so a
+        // runtime-only run must not fail over absent faults baselines.
+        let kind = key.split('|').next().unwrap_or_default();
+        if !kinds.contains(kind) {
+            continue;
+        }
         match current.get(key) {
             None => {
                 eprintln!("FAIL {key}: series disappeared from the bench output");
                 failures += 1;
             }
             Some(now) => {
-                for (metric, was, is) in [
-                    ("rounds", base.rounds, now.rounds),
-                    ("messages", base.messages, now.messages),
+                for (metric, was, is, tolerance) in [
+                    ("rounds", base.rounds, now.rounds, TOLERANCE),
+                    ("messages", base.messages, now.messages, TOLERANCE),
                 ] {
-                    if is > was * TOLERANCE {
+                    if is > was * tolerance {
                         eprintln!(
                             "FAIL {key}: {metric} regressed {was} -> {is} (> {:.0}%)",
-                            (TOLERANCE - 1.0) * 100.0
+                            (tolerance - 1.0) * 100.0
+                        );
+                        failures += 1;
+                    }
+                }
+                if let (Some(was), Some(is)) = (base.retransmits, now.retransmits) {
+                    if is > was * RETRANSMIT_TOLERANCE {
+                        eprintln!(
+                            "FAIL {key}: retransmits regressed {was} -> {is} (> {:.0}%)",
+                            (RETRANSMIT_TOLERANCE - 1.0) * 100.0
+                        );
+                        failures += 1;
+                    }
+                }
+                if let (Some(was), Some(is)) = (base.delivered, now.delivered) {
+                    if is < was - DELIVERED_SLACK {
+                        eprintln!(
+                            "FAIL {key}: delivered fraction dropped {was} -> {is} \
+                             (> {DELIVERED_SLACK} absolute)"
                         );
                         failures += 1;
                     }
@@ -122,11 +181,20 @@ fn main() -> ExitCode {
 /// is part of a series' key, so changing a parameter produces a *new* series
 /// instead of silently comparing against a baseline measured under the old
 /// one.
-const METRIC_FIELDS: [&str; 4] = ["rounds", "messages", "makespan", "delivered"];
+/// `wedged` is deliberately *not* here: whether a faulty run starves is a
+/// semantic property of the protocol, so a flip changes the series key and
+/// fails the gate loudly as a disappeared series instead of sliding under a
+/// numeric tolerance.
+const METRIC_FIELDS: [&str; 5] = ["rounds", "messages", "makespan", "delivered", "retransmits"];
 
 /// Reads one `BENCH_*.json` file and folds its series into `out`, keyed by
-/// the schema kind plus every identity field of the row.
-fn collect_series(path: &str, out: &mut BTreeMap<String, Metrics>) -> Result<(), String> {
+/// the schema kind plus every identity field of the row; `kinds` collects
+/// the schema kinds seen, scoping the disappeared-series check.
+fn collect_series(
+    path: &str,
+    out: &mut BTreeMap<String, Metrics>,
+    kinds: &mut BTreeSet<String>,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = parse(&text).map_err(|e| e.to_string())?;
     let schema = doc
@@ -135,6 +203,7 @@ fn collect_series(path: &str, out: &mut BTreeMap<String, Metrics>) -> Result<(),
         .ok_or("missing schema field")?;
     // "mfd-bench/<kind>/v1" -> "<kind>"
     let kind = schema.split('/').nth(1).ok_or("malformed schema name")?;
+    kinds.insert(kind.to_string());
     let rows = doc
         .get("benchmarks")
         .and_then(Value::as_arr)
@@ -164,6 +233,9 @@ fn collect_series(path: &str, out: &mut BTreeMap<String, Metrics>) -> Result<(),
         let metrics = Metrics {
             rounds: metric("rounds")?,
             messages: metric("messages")?,
+            // Optional per-schema metrics: absent or null means ungated.
+            delivered: obj.get("delivered").and_then(Value::as_num),
+            retransmits: obj.get("retransmits").and_then(Value::as_num),
         };
         if out.insert(key.clone(), metrics).is_some() {
             return Err(format!("duplicate series key '{key}'"));
@@ -192,6 +264,8 @@ fn load_baselines(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
             Metrics {
                 rounds: metric("rounds")?,
                 messages: metric("messages")?,
+                delivered: value.get("delivered").and_then(Value::as_num),
+                retransmits: value.get("retransmits").and_then(Value::as_num),
             },
         );
     }
@@ -203,10 +277,14 @@ fn render_baselines(series: &BTreeMap<String, Metrics>) -> String {
     let rows: Vec<String> = series
         .iter()
         .map(|(key, m)| {
-            format!(
-                "    \"{key}\": {{\"rounds\": {}, \"messages\": {}}}",
-                m.rounds, m.messages
-            )
+            let mut fields = format!("\"rounds\": {}, \"messages\": {}", m.rounds, m.messages);
+            if let Some(d) = m.delivered {
+                fields.push_str(&format!(", \"delivered\": {d}"));
+            }
+            if let Some(x) = m.retransmits {
+                fields.push_str(&format!(", \"retransmits\": {x}"));
+            }
+            format!("    \"{key}\": {{{fields}}}")
         })
         .collect();
     body.push_str(&rows.join(",\n"));

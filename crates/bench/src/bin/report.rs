@@ -3,9 +3,14 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p mfd-bench --bin report              # everything
-//! cargo run --release -p mfd-bench --bin report table1 mis   # selected sections
+//! cargo run --release -p mfd-bench --bin report                        # everything
+//! cargo run --release -p mfd-bench --bin report table1 mis            # selected sections
+//! cargo run --release -p mfd-bench --bin report --section gather      # same, flag form
 //! ```
+//!
+//! `--section <name>` (repeatable) and bare section names are equivalent;
+//! the flag form is what CI jobs use so each job regenerates only the JSON
+//! it gates on.
 
 use mfd_apps::baselines;
 use mfd_apps::matching::{approximate_maximum_matching, MatchingConfig};
@@ -23,6 +28,7 @@ use mfd_core::expander::{
 use mfd_core::ldd::{chop_ldd, measure_ldd, region_growing_ldd};
 use mfd_core::overlap::{overlap_expander_decomposition, OverlapParams};
 use mfd_core::programs::{BfsProgram, ColeVishkinProgram, VoronoiLddProgram};
+use mfd_faults::{crash_and_regather, gather_raw, gather_recovered, FaultModel, Reliable};
 use mfd_graph::generators;
 use mfd_graph::properties::splitmix64;
 use mfd_routing::gather::{gather_to_leader, GatherStrategy};
@@ -35,8 +41,20 @@ use mfd_runtime::{Executor, ExecutorConfig, NodeProgram};
 use mfd_sim::{LatencyModel, SimConfig, Simulator};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |section: &str| args.is_empty() || args.iter().any(|a| a == section || a == "all");
+    let mut sections: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--section" {
+            let name = args
+                .next()
+                .expect("--section requires a section name argument");
+            sections.push(name);
+        } else {
+            sections.push(arg);
+        }
+    }
+    let want =
+        |section: &str| sections.is_empty() || sections.iter().any(|a| a == section || a == "all");
 
     println!("# Measured reproduction report\n");
     println!("All round counts are CONGEST rounds measured by the simulator; see EXPERIMENTS.md for the paper-vs-measured discussion.\n");
@@ -76,6 +94,9 @@ fn main() {
     }
     if want("gather") {
         gather_report();
+    }
+    if want("faults") {
+        faults_report();
     }
 }
 
@@ -781,21 +802,9 @@ fn run_gather_engines<P: GatherProgram>(
 /// against the metered charges, written to `BENCH_gather.json` for the CI
 /// determinism diff and regression gate.
 fn gather_report() {
-    let families = [
-        ("tri-grid-8x8", generators::triangulated_grid(8, 8)),
-        ("wheel-64", generators::wheel(64)),
-        ("hypercube-6", generators::hypercube(6)),
-    ];
+    let families = mfd_bench::acceptance_families();
     let f = 0.1;
-    // Tighter caps than the library defaults keep the leader-local seed
-    // search cheap; metered and executed share the resulting plan, so the
-    // differential is unaffected.
-    let walk_params = WalkParams {
-        max_seed_tries: 6,
-        max_walks_per_message: 16,
-        max_steps: 256,
-        ..WalkParams::default()
-    };
+    let walk_params = mfd_bench::acceptance_walk_params();
     // Low walk-schedule delivered fractions on the grid and hypercube are the
     // expected outcome, not a bug: their leaders have Θ(1)-degree gadgets,
     // exactly the clusters for which `gather_to_leader` falls back to the
@@ -803,7 +812,7 @@ fn gather_report() {
     let walk_f = 0.2;
     let mut rows: Vec<GatherRow> = Vec::new();
     for (name, g) in &families {
-        let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
+        let leader = mfd_bench::acceptance_leader(g);
         let metered_row = |strategy: &'static str, f, rounds, messages, delivered| GatherRow {
             graph: name.to_string(),
             n: g.n(),
@@ -896,5 +905,208 @@ fn gather_report() {
     );
     let path = "BENCH_gather.json";
     std::fs::write(path, json).expect("write BENCH_gather.json");
+    println!("wrote {path} ({} series)", rows.len());
+}
+
+/// One fault-experiment measurement destined for `BENCH_faults.json`.
+struct FaultRow {
+    graph: String,
+    n: usize,
+    m: usize,
+    strategy: &'static str,
+    fault: &'static str,
+    /// `raw` (faults reach the program), `reliable` (behind the adapter) or
+    /// `crash` (re-election + re-gather).
+    mode: &'static str,
+    f: f64,
+    rounds: u64,
+    messages: u64,
+    delivered: f64,
+    retransmits: Option<u64>,
+    wedged: bool,
+}
+
+impl FaultRow {
+    fn to_json(&self) -> String {
+        let retransmits = match self.retransmits {
+            Some(x) => x.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"strategy\":\"{}\",\"fault\":\"{}\",\
+             \"mode\":\"{}\",\"f\":{:.3},\"rounds\":{},\"messages\":{},\
+             \"delivered\":{:.6},\"retransmits\":{},\"wedged\":{}}}",
+            self.graph,
+            self.n,
+            self.m,
+            self.strategy,
+            self.fault,
+            self.mode,
+            self.f,
+            self.rounds,
+            self.messages,
+            self.delivered,
+            retransmits,
+            self.wedged
+        )
+    }
+}
+
+/// Runs one gather program raw and behind [`Reliable`] under one fault
+/// model, appending both rows.
+#[allow(clippy::too_many_arguments)]
+fn run_fault_scenario<P>(
+    g: &mfd_graph::Graph,
+    program: &P,
+    graph_name: &str,
+    f: f64,
+    fault_name: &'static str,
+    model: &FaultModel,
+    rows: &mut Vec<FaultRow>,
+) where
+    P: mfd_routing::programs::GatherProgram + Clone,
+    P::State: Clone,
+{
+    let config = SimConfig::default();
+    let raw = gather_raw(g, program, &config, model).expect("raw faulty run is model-compliant");
+    rows.push(FaultRow {
+        graph: graph_name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        strategy: program.strategy_name(),
+        fault: fault_name,
+        mode: "raw",
+        f,
+        rounds: raw.gather.rounds,
+        messages: raw.gather.messages,
+        delivered: raw.gather.delivered_fraction,
+        retransmits: None,
+        wedged: raw.wedged,
+    });
+    let reliable = Reliable::new(program.clone());
+    let rec =
+        gather_recovered(g, &reliable, &config, model).expect("recovered run is model-compliant");
+    assert!(
+        !rec.wedged,
+        "{} on {graph_name} under {fault_name}: the adapter itself starved",
+        program.strategy_name()
+    );
+    let stats = rec.reliable.expect("recovered run reports transport stats");
+    rows.push(FaultRow {
+        graph: graph_name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        strategy: program.strategy_name(),
+        fault: fault_name,
+        mode: "reliable",
+        f,
+        rounds: rec.gather.rounds,
+        messages: rec.gather.messages,
+        delivered: rec.gather.delivered_fraction,
+        retransmits: Some(stats.retransmitted),
+        wedged: rec.wedged,
+    });
+}
+
+/// R3 — the §2 gather strategies under injected faults: delivered-fraction
+/// degradation raw vs. recovered through the reliable-delivery adapter, and
+/// crash-stop runs with leader re-election, written to `BENCH_faults.json`
+/// for the CI determinism diff and regression gate.
+fn faults_report() {
+    let families = mfd_bench::acceptance_families();
+    let scenarios: [(&'static str, FaultModel); 4] = [
+        ("iid-0.05", FaultModel::iid_loss(0.05)),
+        ("iid-0.2", FaultModel::iid_loss(0.2)),
+        ("burst-ge", FaultModel::burst_loss(0.05, 0.25, 0.01, 0.6)),
+        ("chaos", FaultModel::chaos(0.1, 0.05, 0.05, 3)),
+    ];
+    let f = 0.1;
+    let walk_f = 0.2;
+    let walk_params = mfd_bench::acceptance_walk_params();
+    let mut rows: Vec<FaultRow> = Vec::new();
+    for (name, g) in &families {
+        let leader = mfd_bench::acceptance_leader(g);
+        let tree = TreeGatherProgram::new(g, leader);
+        let plan = LoadBalancePlan::new(g, &LoadBalanceParams::default());
+        let lb = LoadBalanceProgram::new(g, leader, f, &plan);
+        let walk_plan = mfd_routing::walks::plan_walk_schedule(g, leader, walk_f, &walk_params);
+        let walk = WalkScheduleProgram::new(g, &walk_plan);
+        for (fault_name, model) in &scenarios {
+            run_fault_scenario(g, &tree, name, f, fault_name, model, &mut rows);
+            run_fault_scenario(g, &lb, name, f, fault_name, model, &mut rows);
+            run_fault_scenario(g, &walk, name, walk_f, fault_name, model, &mut rows);
+        }
+
+        // Crash-stop: kill the gather leader mid-protocol, re-elect on the
+        // survivors, re-gather to the winner.
+        let crash = crash_and_regather(
+            g,
+            leader,
+            5,
+            2,
+            &SimConfig::default(),
+            &ExecutorConfig::default(),
+        )
+        .expect("crash experiment is model-compliant");
+        assert!(
+            crash.agreement,
+            "{name}: survivors disagree on the re-elected leader"
+        );
+        rows.push(FaultRow {
+            graph: name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            strategy: "crash-reelect",
+            fault: "crash-leader-r5",
+            mode: "crash",
+            f,
+            rounds: crash.election_rounds + crash.regather.rounds,
+            messages: crash.election_messages + crash.regather.messages,
+            delivered: crash.regather.delivered_fraction,
+            retransmits: None,
+            wedged: false,
+        });
+    }
+
+    let mut table = Table::new(
+        "R3 — gather under faults: raw degradation vs. reliable-adapter \
+         recovery, and crash-stop re-election (delivered is the fraction of \
+         the cluster's 2|E| messages reaching the leader)",
+        &[
+            "graph",
+            "strategy",
+            "fault",
+            "mode",
+            "rounds",
+            "messages",
+            "delivered",
+            "retransmits",
+            "wedged",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.graph.clone(),
+            r.strategy.to_string(),
+            r.fault.to_string(),
+            r.mode.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            f3(r.delivered),
+            r.retransmits.map_or("-".to_string(), |x| x.to_string()),
+            r.wedged.to_string(),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/faults/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(FaultRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_faults.json";
+    std::fs::write(path, json).expect("write BENCH_faults.json");
     println!("wrote {path} ({} series)", rows.len());
 }

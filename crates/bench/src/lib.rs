@@ -7,8 +7,39 @@
 //! (`cargo run --release -p mfd-bench --bin report`), which prints every table.
 
 use mfd_graph::{generators, Graph};
+use mfd_routing::walks::WalkParams;
 
 pub mod json;
+
+/// The gather acceptance families — the fixed `(name, graph)` set every
+/// executed-gather claim is pinned on (report sections, integration tests,
+/// baselines). One definition, so the CI-gated measurements and the test
+/// suite can never drift onto different configurations.
+pub fn acceptance_families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("tri-grid-8x8", generators::triangulated_grid(8, 8)),
+        ("wheel-64", generators::wheel(64)),
+        ("hypercube-6", generators::hypercube(6)),
+    ]
+}
+
+/// The acceptance families' gather leader: the maximum-degree vertex.
+pub fn acceptance_leader(g: &Graph) -> usize {
+    (0..g.n()).max_by_key(|&v| g.degree(v)).expect("non-empty")
+}
+
+/// The walk-schedule planning parameters used on the acceptance families:
+/// tighter caps than the library defaults keep the leader-local seed search
+/// cheap; metered and executed share the resulting plan, so differentials
+/// are unaffected.
+pub fn acceptance_walk_params() -> WalkParams {
+    WalkParams {
+        max_seed_tries: 6,
+        max_walks_per_message: 16,
+        max_steps: 256,
+        ..WalkParams::default()
+    }
+}
 
 /// A named workload instance.
 pub struct Workload {

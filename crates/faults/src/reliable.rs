@@ -1,0 +1,672 @@
+//! The reliable-delivery adapter: wrap any [`NodeProgram`], run it on a
+//! lossy network, get loss-free semantics back.
+//!
+//! [`Reliable<P>`] is itself a `NodeProgram`, so it runs unmodified on every
+//! engine; its *physical* rounds carry one [`Frame`] per edge per round — the
+//! α-synchronizer pulse with transport metadata piggybacked — while the
+//! wrapped program advances through *logical* rounds gated on provably
+//! complete inboxes. The transport is a classic per-edge ARQ:
+//!
+//! * **Sequence numbers.** Every inner message queued on an edge gets the
+//!   next per-edge sequence number; receivers deduplicate and reorder by it,
+//!   so duplication and slippage faults are absorbed outright.
+//! * **Cumulative acks.** Every frame carries the receiver's in-order prefix
+//!   count for the reverse direction. Acks are idempotent summaries, so lost
+//!   ack frames cost nothing — the next frame repeats them.
+//! * **Timeout retransmission.** A sender whose oldest unacked message has
+//!   seen no ack progress for `timeout` physical rounds resends from the
+//!   unacked prefix. Retransmissions ride later frames, whose fault fates
+//!   are sampled independently, so every message is delivered eventually
+//!   (with probability 1 under any loss rate < 1).
+//! * **Round boundaries.** Frames also repeat the sender's last completed
+//!   inner round and the cumulative message count queued through it. A
+//!   vertex runs inner round `k + 1` only when, for every neighbor, it holds
+//!   that neighbor's traffic complete up to its announced boundary covering
+//!   round `k` — restoring the exact synchronous inbox contract, so the
+//!   inner program's trajectory is *bit-for-bit* the loss-free one.
+//!
+//! Termination uses a linger close (the TIME_WAIT of this protocol): once a
+//! vertex's inner program has halted, all its sends are acked, and every
+//! neighbor has announced a final boundary it has fully received, it keeps
+//! answering with pure ack frames for `linger` more rounds — giving its
+//! final acks and fin flags `linger` independent chances to survive the
+//! fault process — and then halts. Two-generals says certainty is
+//! impossible; the linger makes the residual wedge probability `p^linger`
+//! per edge, and determinism makes any given seed's outcome reproducible.
+//!
+//! Overhead is measured, not hidden: [`Reliable::stats`] aggregates frames,
+//! fresh vs. retransmitted payload and ack-only pulses from the final
+//! states, reported next to the engines' usual `RoundMeter` accounting.
+
+use std::collections::BTreeMap;
+
+use mfd_congest::CongestError;
+use mfd_routing::programs::GatherProgram;
+use mfd_runtime::{Envelope, NodeCtx, NodeProgram, Outbox, RuntimeMessage};
+
+/// One transport frame: the per-edge, per-physical-round unit of the
+/// adapter. Metadata (ack, boundary, fin) is cumulative/sticky and repeated
+/// in every frame, so individual frame losses never lose information —
+/// only payload needs retransmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame<M> {
+    /// Receiver-direction cumulative ack: in-order messages received.
+    pub ack: u64,
+    /// The sender's last completed inner round on this edge...
+    pub boundary_round: u64,
+    /// ...and the cumulative message count queued through it.
+    pub boundary_cum: u64,
+    /// The sender's inner program has halted; the boundary is final.
+    pub fin: bool,
+    /// `(seq, inner round, message)` entries — fresh or retransmitted.
+    pub payload: Vec<(u64, u64, M)>,
+}
+
+impl<M: RuntimeMessage> RuntimeMessage for Frame<M> {
+    /// Payload words, floored at one: the transport header (a few counters
+    /// and flags) is O(log n) bits and rides the mandatory CONGEST word, the
+    /// standard piggybacking idealization — an empty frame is the pure
+    /// ack/boundary pulse.
+    fn words(&self) -> usize {
+        self.payload
+            .iter()
+            .map(|(_, _, m)| m.words())
+            .sum::<usize>()
+            .max(1)
+    }
+}
+
+/// Per-edge sender state.
+struct EdgeTx<M> {
+    /// Every message ever queued on this edge: `sent[seq] = (round, msg)`.
+    sent: Vec<(u64, M)>,
+    /// Peer's cumulative in-order ack.
+    acked: u64,
+    /// First never-transmitted sequence number.
+    tx_next: u64,
+    /// Physical round of the last ack advance (retransmission backoff).
+    last_progress: u64,
+}
+
+/// Per-edge receiver state.
+struct EdgeRx<M> {
+    /// Received, not yet delivered: `seq -> (inner round, msg)`.
+    pending: BTreeMap<u64, (u64, M)>,
+    /// Sequence numbers `0..prefix` have all been received.
+    prefix: u64,
+    /// Sequence numbers `0..delivered` were handed to the inner program.
+    delivered: u64,
+    /// Peer's announced boundary, max-merged over all frames seen.
+    peer_round: u64,
+    /// Cumulative count at that boundary.
+    peer_cum: u64,
+    /// Peer announced its boundary as final.
+    peer_fin: bool,
+}
+
+/// State of one vertex of [`Reliable<P>`]: the wrapped program's state plus
+/// the transport machinery.
+pub struct ReliableState<P: NodeProgram> {
+    /// The wrapped program's state, advanced exactly as on a loss-free
+    /// network.
+    pub inner: P::State,
+    /// Completed inner rounds.
+    pub inner_round: u64,
+    /// Whether the wrapped program has halted.
+    pub inner_halted: bool,
+    tx: Vec<EdgeTx<P::Msg>>,
+    rx: Vec<EdgeRx<P::Msg>>,
+    /// Physical round at which the linger close expires.
+    close_at: Option<u64>,
+    done: bool,
+    /// Frames sent (one per edge per physical round until halting).
+    pub frames_sent: u64,
+    /// Frames that carried at least one payload message.
+    pub payload_frames: u64,
+    /// First-time payload transmissions.
+    pub fresh_sent: u64,
+    /// Retransmitted payload entries.
+    pub retransmitted: u64,
+    /// Messages handed to the inner program.
+    pub delivered_inner: u64,
+}
+
+/// Aggregated transport statistics of a completed [`Reliable<P>`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReliableStats {
+    /// Total frames sent.
+    pub frames: u64,
+    /// Frames carrying payload.
+    pub payload_frames: u64,
+    /// Pure ack/boundary pulses.
+    pub ack_frames: u64,
+    /// First-time payload transmissions (equals the inner program's send
+    /// count).
+    pub fresh: u64,
+    /// Retransmitted payload entries.
+    pub retransmitted: u64,
+    /// Messages delivered to inner programs.
+    pub delivered_inner: u64,
+}
+
+impl ReliableStats {
+    /// Retransmitted entries per fresh message — the loss-recovery overhead.
+    pub fn retransmit_overhead(&self) -> f64 {
+        self.retransmitted as f64 / (self.fresh.max(1)) as f64
+    }
+
+    /// Fraction of frames that were pure acks — the piggyback overhead.
+    pub fn ack_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.ack_frames as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Wraps a [`NodeProgram`] with per-edge sequence numbers, cumulative acks
+/// and timeout retransmission, turning a lossy simulated network back into a
+/// reliable one (module docs).
+#[derive(Debug, Clone)]
+pub struct Reliable<P> {
+    inner: P,
+    timeout: u64,
+    linger: u64,
+    max_frame_words: usize,
+    budget: Option<u64>,
+}
+
+/// Inner rounds an isolated (or fully caught-up) vertex may run per physical
+/// round, bounding the catch-up loop.
+const CATCHUP_ROUNDS: u64 = 64;
+
+/// Default physical-round budget multiplier over the inner program's hint.
+const BUDGET_FACTOR: u64 = 8;
+
+impl<P: NodeProgram> Reliable<P> {
+    /// Wraps `inner` with the default transport (timeout 4, linger 8, one
+    /// payload word per frame).
+    pub fn new(inner: P) -> Self {
+        Reliable {
+            inner,
+            timeout: 4,
+            linger: 8,
+            max_frame_words: 1,
+            budget: None,
+        }
+    }
+
+    /// Sets the retransmission timeout, in physical rounds (clamped ≥ 1).
+    pub fn with_timeout(mut self, timeout: u64) -> Self {
+        self.timeout = timeout.max(1);
+        self
+    }
+
+    /// Sets the linger close duration, in physical rounds.
+    pub fn with_linger(mut self, linger: u64) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Overrides the physical round budget (default: 8× the inner hint).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The wrapped program.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Borrows the wrapped program's states out of a run's final states.
+    pub fn inner_states(states: &[ReliableState<P>]) -> Vec<&P::State> {
+        states.iter().map(|s| &s.inner).collect()
+    }
+
+    /// Clones the wrapped program's states out of a run's final states.
+    pub fn inner_states_cloned(states: &[ReliableState<P>]) -> Vec<P::State>
+    where
+        P::State: Clone,
+    {
+        states.iter().map(|s| s.inner.clone()).collect()
+    }
+
+    /// Aggregates the transport statistics of a run.
+    pub fn stats(states: &[ReliableState<P>]) -> ReliableStats {
+        let mut out = ReliableStats::default();
+        for s in states {
+            out.frames += s.frames_sent;
+            out.payload_frames += s.payload_frames;
+            out.fresh += s.fresh_sent;
+            out.retransmitted += s.retransmitted;
+            out.delivered_inner += s.delivered_inner;
+        }
+        out.ack_frames = out.frames - out.payload_frames;
+        out
+    }
+
+    /// Neighbor slot of `v` in the sorted adjacency.
+    fn slot(ctx: &NodeCtx, v: usize) -> usize {
+        ctx.neighbors
+            .binary_search(&v)
+            .expect("frame from a non-neighbor")
+    }
+
+    /// Whether inner round `k` may run: for every neighbor, its announced
+    /// boundary covers round `k - 1` (or is final) and all traffic through
+    /// that boundary has been received.
+    fn gate(state: &ReliableState<P>, k: u64) -> bool {
+        state
+            .rx
+            .iter()
+            .all(|rx| (rx.peer_fin || rx.peer_round >= k - 1) && rx.prefix >= rx.peer_cum)
+    }
+}
+
+impl<P: NodeProgram> NodeProgram for Reliable<P> {
+    type State = ReliableState<P>;
+    type Msg = Frame<P::Msg>;
+
+    fn init(&self, ctx: &NodeCtx) -> ReliableState<P> {
+        let inner = self.inner.init(ctx);
+        let inner_halted = self.inner.halted(ctx, &inner);
+        let deg = ctx.degree();
+        ReliableState {
+            inner,
+            inner_round: 0,
+            inner_halted,
+            tx: (0..deg)
+                .map(|_| EdgeTx {
+                    sent: Vec::new(),
+                    acked: 0,
+                    tx_next: 0,
+                    last_progress: 0,
+                })
+                .collect(),
+            rx: (0..deg)
+                .map(|_| EdgeRx {
+                    pending: BTreeMap::new(),
+                    prefix: 0,
+                    delivered: 0,
+                    peer_round: 0,
+                    peer_cum: 0,
+                    peer_fin: false,
+                })
+                .collect(),
+            close_at: None,
+            // An isolated vertex with a halted program has nothing to close;
+            // anyone with neighbors still owes them fin frames.
+            done: inner_halted && deg == 0,
+            frames_sent: 0,
+            payload_frames: 0,
+            fresh_sent: 0,
+            retransmitted: 0,
+            delivered_inner: 0,
+        }
+    }
+
+    fn round(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut ReliableState<P>,
+        inbox: &[Envelope<Frame<P::Msg>>],
+        out: &mut Outbox<'_, Frame<P::Msg>>,
+    ) {
+        let r = ctx.round;
+
+        // 1. Absorb incoming frames: acks, boundaries, payload. Duplicate
+        //    and out-of-order deliveries (the faults this adapter exists to
+        //    absorb) are resolved here by sequence number.
+        for env in inbox {
+            let i = Self::slot(ctx, env.src);
+            let frame = &env.msg;
+            if frame.ack > state.tx[i].acked {
+                state.tx[i].acked = frame.ack;
+                state.tx[i].last_progress = r;
+            }
+            let rx = &mut state.rx[i];
+            rx.peer_round = rx.peer_round.max(frame.boundary_round);
+            rx.peer_cum = rx.peer_cum.max(frame.boundary_cum);
+            rx.peer_fin |= frame.fin;
+            for (seq, round, msg) in &frame.payload {
+                if *seq < rx.delivered || rx.pending.contains_key(seq) {
+                    continue; // duplicate
+                }
+                rx.pending.insert(*seq, (*round, msg.clone()));
+                while rx.pending.contains_key(&rx.prefix) {
+                    rx.prefix += 1;
+                }
+            }
+        }
+
+        // 2. Drive the inner program through every logical round whose inbox
+        //    is provably complete (several can unblock at once after a
+        //    retransmission lands).
+        for _ in 0..CATCHUP_ROUNDS {
+            if state.inner_halted {
+                break;
+            }
+            let k = state.inner_round + 1;
+            if !Self::gate(state, k) {
+                break;
+            }
+            let mut inner_inbox: Vec<Envelope<P::Msg>> = Vec::new();
+            for (i, &u) in ctx.neighbors.iter().enumerate() {
+                let rx = &mut state.rx[i];
+                while rx.delivered < rx.prefix {
+                    match rx.pending.get(&rx.delivered) {
+                        Some(&(round, _)) if round < k => {
+                            let (_, msg) = rx.pending.remove(&rx.delivered).unwrap();
+                            inner_inbox.push(Envelope { src: u, msg });
+                            rx.delivered += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            state.delivered_inner += inner_inbox.len() as u64;
+
+            let ictx = ctx.at_round(k);
+            let mut ibox: Outbox<'_, P::Msg> = Outbox::new(ctx.id, ctx.neighbors);
+            self.inner
+                .round(&ictx, &mut state.inner, &inner_inbox, &mut ibox);
+            state.inner_halted = self.inner.halted(&ictx, &state.inner);
+            state.inner_round = k;
+            if let Some(err) = ibox.violation() {
+                // Replay the inner program's illegal send on the wrapper's
+                // outbox so the engine aborts with the same verdict.
+                let CongestError::NotAnEdge { dst, .. } = *err else {
+                    unreachable!("send-time violations are always NotAnEdge");
+                };
+                out.send(
+                    dst,
+                    Frame {
+                        ack: 0,
+                        boundary_round: 0,
+                        boundary_cum: 0,
+                        fin: false,
+                        payload: Vec::new(),
+                    },
+                );
+                return;
+            }
+            for (dst, msg, _words) in ibox.into_sends() {
+                let i = Self::slot(ctx, dst);
+                state.tx[i].sent.push((k, msg));
+            }
+        }
+
+        // 3. Closing: once the inner program has halted, everything sent is
+        //    acked and every neighbor's final boundary is fully received,
+        //    linger (pure ack frames keep flowing) and then halt.
+        if state.close_at.is_none()
+            && state.inner_halted
+            && state.tx.iter().all(|t| t.acked == t.sent.len() as u64)
+            && state
+                .rx
+                .iter()
+                .all(|x| x.peer_fin && x.prefix >= x.peer_cum)
+        {
+            state.close_at = Some(r + self.linger);
+        }
+        state.done = state.close_at.is_some_and(|c| r >= c);
+
+        // 4. Emit one frame per edge: retransmissions first (they unblock
+        //    the receiver), then fresh payload, within the per-frame word
+        //    budget; metadata rides every frame regardless.
+        for (i, &u) in ctx.neighbors.iter().enumerate() {
+            let mut payload: Vec<(u64, u64, P::Msg)> = Vec::new();
+            let mut words = 0usize;
+            let mut retransmitted = 0u64;
+            let mut fresh = 0u64;
+            let max_words = self.max_frame_words;
+            let fits = move |words: &mut usize, w: usize, empty: bool| {
+                if *words + w > max_words && !empty {
+                    false
+                } else {
+                    *words += w;
+                    true
+                }
+            };
+            let tx = &mut state.tx[i];
+            let had_outstanding = tx.acked < tx.tx_next;
+            if had_outstanding && r.saturating_sub(tx.last_progress) >= self.timeout {
+                for seq in tx.acked..tx.tx_next {
+                    let (round, msg) = &tx.sent[seq as usize];
+                    if !fits(&mut words, msg.words(), payload.is_empty()) {
+                        break;
+                    }
+                    payload.push((seq, *round, msg.clone()));
+                    retransmitted += 1;
+                }
+                tx.last_progress = r; // back off until the next timeout
+            }
+            while (tx.tx_next as usize) < tx.sent.len() {
+                let (round, msg) = &tx.sent[tx.tx_next as usize];
+                if !fits(&mut words, msg.words(), payload.is_empty()) {
+                    break;
+                }
+                payload.push((tx.tx_next, *round, msg.clone()));
+                tx.tx_next += 1;
+                fresh += 1;
+            }
+            // The retransmission clock starts when data first becomes
+            // outstanding, not at round zero — otherwise a first send late
+            // in the run would look instantly timed out.
+            if !had_outstanding && tx.acked < tx.tx_next {
+                tx.last_progress = r;
+            }
+            let boundary_cum = tx.sent.len() as u64;
+            state.retransmitted += retransmitted;
+            state.fresh_sent += fresh;
+            state.frames_sent += 1;
+            if !payload.is_empty() {
+                state.payload_frames += 1;
+            }
+            out.send(
+                u,
+                Frame {
+                    ack: state.rx[i].prefix,
+                    boundary_round: state.inner_round,
+                    boundary_cum,
+                    fin: state.inner_halted,
+                    payload,
+                },
+            );
+        }
+    }
+
+    fn halted(&self, _ctx: &NodeCtx, state: &ReliableState<P>) -> bool {
+        state.done
+    }
+
+    fn round_budget_hint(&self) -> Option<u64> {
+        self.budget.or_else(|| {
+            self.inner
+                .round_budget_hint()
+                .map(|h| h.saturating_mul(BUDGET_FACTOR) + self.linger + 512)
+        })
+    }
+}
+
+impl<P> GatherProgram for Reliable<P>
+where
+    P: GatherProgram,
+    P::State: Clone,
+{
+    fn strategy_name(&self) -> &'static str {
+        self.inner.strategy_name()
+    }
+
+    fn total_messages(&self) -> usize {
+        self.inner.total_messages()
+    }
+
+    fn per_vertex_delivered(&self, states: &[ReliableState<P>]) -> Vec<usize> {
+        let inner = Self::inner_states_cloned(states);
+        self.inner.per_vertex_delivered(&inner)
+    }
+
+    fn leader_received(&self, states: &[ReliableState<P>]) -> u64 {
+        let inner = Self::inner_states_cloned(states);
+        self.inner.leader_received(&inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_graph::generators;
+    use mfd_runtime::{Executor, ExecutorConfig};
+    use mfd_sim::{FaultOutcome, SimConfig, Simulator};
+
+    use crate::models::FaultModel;
+
+    /// Every vertex broadcasts its id for two rounds, then sums three rounds
+    /// of receipts — enough traffic to make losses visible.
+    struct Chatter;
+
+    impl NodeProgram for Chatter {
+        type State = (u64, u64);
+        type Msg = u64;
+
+        fn init(&self, _ctx: &NodeCtx) -> (u64, u64) {
+            (0, 0)
+        }
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut (u64, u64),
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            for env in inbox {
+                state.0 += env.msg;
+                state.1 += 1;
+            }
+            if ctx.round <= 2 {
+                out.broadcast(ctx.id as u64 + ctx.round);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &(u64, u64)) -> bool {
+            ctx.round >= 3
+        }
+    }
+
+    #[test]
+    fn loss_free_wrapped_run_matches_the_plain_program_exactly() {
+        let g = generators::triangulated_grid(5, 6);
+        let plain = Executor::new(ExecutorConfig::default())
+            .run(&g, &Chatter)
+            .unwrap();
+        let sim = Simulator::new(SimConfig::default());
+        let wrapped = sim.run(&g, &Reliable::new(Chatter)).unwrap();
+        assert_eq!(
+            plain.states,
+            Reliable::<Chatter>::inner_states_cloned(&wrapped.states)
+        );
+        let stats = Reliable::<Chatter>::stats(&wrapped.states);
+        assert_eq!(stats.retransmitted, 0);
+        assert_eq!(stats.fresh, plain.messages);
+        assert_eq!(stats.delivered_inner, plain.messages);
+        // Lockstep: inner round k runs at physical round k, plus the close
+        // handshake tail (fin exchange + linger).
+        assert!(wrapped.rounds >= plain.rounds);
+        assert!(wrapped.rounds <= plain.rounds + 8 + 3);
+    }
+
+    #[test]
+    fn heavy_iid_loss_is_fully_repaired() {
+        let g = generators::wheel(24);
+        let model = FaultModel::iid_loss(0.3);
+        let sim = Simulator::new(SimConfig::default());
+        let clean = Executor::new(ExecutorConfig::default())
+            .run(&g, &Chatter)
+            .unwrap();
+
+        // Raw: the program mis-counts (losses reach the inbox contract).
+        let raw = sim.run_with_faults(&g, &Chatter, &model).unwrap();
+        assert!(raw.run.stats.lost_messages > 0);
+        assert_ne!(clean.states, raw.run.states);
+
+        // Wrapped: every vertex computes the loss-free answer.
+        let wrapped = sim
+            .run_with_faults(&g, &Reliable::new(Chatter), &model)
+            .unwrap();
+        assert_eq!(wrapped.outcome, FaultOutcome::Completed);
+        assert_eq!(
+            clean.states,
+            Reliable::<Chatter>::inner_states_cloned(&wrapped.run.states)
+        );
+        let stats = Reliable::<Chatter>::stats(&wrapped.run.states);
+        assert!(stats.retransmitted > 0, "no retransmissions under 30% loss");
+        assert!(stats.retransmit_overhead() > 0.0);
+        assert!(stats.ack_ratio() > 0.0);
+    }
+
+    #[test]
+    fn duplication_and_reordering_are_absorbed_by_sequence_numbers() {
+        let g = generators::cycle(10);
+        let model = FaultModel::chaos(0.0, 0.3, 0.3, 4);
+        let clean = Executor::new(ExecutorConfig::default())
+            .run(&g, &Chatter)
+            .unwrap();
+        let wrapped = Simulator::new(SimConfig::default())
+            .run_with_faults(&g, &Reliable::new(Chatter), &model)
+            .unwrap();
+        assert_eq!(wrapped.outcome, FaultOutcome::Completed);
+        assert!(
+            wrapped.run.stats.slipped_messages + wrapped.run.stats.duplicated_messages > 0,
+            "the chaos model never fired"
+        );
+        assert_eq!(
+            clean.states,
+            Reliable::<Chatter>::inner_states_cloned(&wrapped.run.states)
+        );
+    }
+
+    #[test]
+    fn faulty_wrapped_runs_are_reproducible() {
+        let g = generators::triangulated_grid(4, 5);
+        let model = FaultModel::chaos(0.2, 0.1, 0.1, 3);
+        let sim = Simulator::new(SimConfig::default());
+        let a = sim
+            .run_with_faults(&g, &Reliable::new(Chatter), &model)
+            .unwrap();
+        let b = sim
+            .run_with_faults(&g, &Reliable::new(Chatter), &model)
+            .unwrap();
+        assert_eq!(a.run.rounds, b.run.rounds);
+        assert_eq!(a.run.messages, b.run.messages);
+        assert_eq!(a.run.makespan, b.run.makespan);
+        assert_eq!(
+            Reliable::<Chatter>::stats(&a.run.states),
+            Reliable::<Chatter>::stats(&b.run.states)
+        );
+        assert_eq!(
+            Reliable::<Chatter>::inner_states_cloned(&a.run.states),
+            Reliable::<Chatter>::inner_states_cloned(&b.run.states)
+        );
+    }
+
+    #[test]
+    fn frames_declare_honest_word_counts() {
+        let empty: Frame<u64> = Frame {
+            ack: 3,
+            boundary_round: 2,
+            boundary_cum: 3,
+            fin: false,
+            payload: Vec::new(),
+        };
+        assert_eq!(empty.words(), 1);
+        let loaded = Frame {
+            payload: vec![(0, 1, 7u64)],
+            ..empty.clone()
+        };
+        assert_eq!(loaded.words(), 1);
+    }
+}

@@ -46,8 +46,10 @@
 //!   their message counts sit above the charged ones by design; CI's
 //!   regression gate pins both.
 
-use mfd_graph::Graph;
+use mfd_graph::{properties, Graph};
 use mfd_runtime::{Execution, Executor, ExecutorConfig, NodeProgram, RuntimeError};
+
+use crate::load_balance::{LoadBalanceParams, LoadBalancePlan};
 
 mod load_balance;
 mod tree;
@@ -89,6 +91,19 @@ pub trait GatherProgram: NodeProgram {
 
     /// Per-vertex delivered counts, extracted from the final states.
     fn per_vertex_delivered(&self, states: &[Self::State]) -> Vec<usize>;
+
+    /// Unit messages that *physically reached the leader*, extracted from
+    /// the final states.
+    ///
+    /// On completed fault-free runs this equals the summed per-vertex counts
+    /// (the default). The distinction matters to the fault experiments: a
+    /// run starved by injected losses leaves source-side bookkeeping (e.g.
+    /// the tree wave's coverage) looking complete while the leader-side
+    /// truth is not — implementations whose per-vertex counts are
+    /// source-side override this with the leader's own receipts.
+    fn leader_received(&self, states: &[Self::State]) -> u64 {
+        self.per_vertex_delivered(states).iter().sum::<usize>() as u64
+    }
 
     /// Packages an engine's output as an [`ExecutedGather`].
     fn executed_report(
@@ -140,6 +155,87 @@ pub(crate) fn assert_plan_matches(cluster: &Graph, split: &crate::split::Expande
     );
 }
 
+/// Conductance below which a grid-like cluster's token balancer end-game is
+/// known to be reseed-window sensitive (φ ≲ 0.07 — the tri-grid-10x10
+/// overrun the ROADMAP documents, whose sweep-cut estimate sits at ≈ 0.073);
+/// [`select_gather_program`] routes such clusters to the tree pipeline. The
+/// nearest keep-the-balancer families are comfortably above (tri-grid-8x8
+/// ≈ 0.093, hypercube-6 ≈ 0.31).
+pub const TREE_ROUTE_PHI: f64 = 0.08;
+
+/// An executed gather program chosen by [`select_gather_program`].
+#[derive(Debug, Clone)]
+pub enum SelectedGather {
+    /// The tree pipeline: always delivers everything; the right call on
+    /// low-conductance clusters whose leader is no hub.
+    Tree(TreeGatherProgram),
+    /// The Lemma 2.2 token balancer (boxed: it carries its whole plan).
+    LoadBalance(Box<LoadBalanceProgram>),
+}
+
+impl SelectedGather {
+    /// Strategy name of the chosen program.
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            SelectedGather::Tree(p) => p.strategy_name(),
+            SelectedGather::LoadBalance(p) => p.strategy_name(),
+        }
+    }
+
+    /// Runs the chosen program on the synchronous executor and reports it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RuntimeError`] from the executor.
+    pub fn execute(
+        &self,
+        cluster: &Graph,
+        config: &ExecutorConfig,
+    ) -> Result<ExecutedGather, RuntimeError> {
+        match self {
+            SelectedGather::Tree(p) => execute_gather(cluster, p, config).map(|(r, _)| r),
+            SelectedGather::LoadBalance(p) => {
+                execute_gather(cluster, p.as_ref(), config).map(|(r, _)| r)
+            }
+        }
+    }
+}
+
+/// A cheap conductance estimate: exact on small clusters, spectral sweep
+/// (an upper bound on φ) otherwise, 1.0 when neither applies.
+fn conductance_estimate(cluster: &Graph) -> f64 {
+    properties::conductance_exact(cluster)
+        .or_else(|| properties::spectral_sweep_cut(cluster, 80).map(|c| c.conductance))
+        .unwrap_or(1.0)
+}
+
+/// Picks the executed gather program for a cluster that would otherwise run
+/// the load balancer: low-conductance (φ ≲ [`TREE_ROUTE_PHI`]) clusters
+/// whose leader has no hub degree (`deg(leader)² ≤ n`) are routed to
+/// [`TreeGatherProgram`] — on such grid-like clusters the balancer's
+/// end-game is reseed-window sensitive while the tree pipeline is both
+/// cheaper and complete; everything else gets [`LoadBalanceProgram`] sized
+/// by a fresh [`LoadBalancePlan`].
+///
+/// # Panics
+///
+/// Panics if `leader` is out of range.
+pub fn select_gather_program(
+    cluster: &Graph,
+    leader: usize,
+    f: f64,
+    params: &LoadBalanceParams,
+) -> SelectedGather {
+    assert!(leader < cluster.n().max(1), "leader out of range");
+    let hub_degree = cluster.degree(leader).pow(2) > cluster.n();
+    if !hub_degree && conductance_estimate(cluster) < TREE_ROUTE_PHI {
+        SelectedGather::Tree(TreeGatherProgram::new(cluster, leader))
+    } else {
+        let plan = LoadBalancePlan::new(cluster, params);
+        SelectedGather::LoadBalance(Box::new(LoadBalanceProgram::new(cluster, leader, f, &plan)))
+    }
+}
+
 /// Runs a gather program on the synchronous executor and reports it.
 ///
 /// # Errors
@@ -153,4 +249,57 @@ pub fn execute_gather<P: GatherProgram>(
     let run = Executor::new(config.clone()).run(cluster, program)?;
     let report = program.executed_report(&run.states, run.rounds, run.messages);
     Ok((report, run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_congest::RoundMeter;
+    use mfd_graph::generators;
+
+    /// The ROADMAP-documented sensitivity: tri-grid-10x10's token-balancer
+    /// end-game overruns the charge, so selection must route it (and its
+    /// grid siblings) to the tree pipeline, whose executed rounds are pinned
+    /// against the metered charge.
+    #[test]
+    fn selection_routes_low_conductance_grids_to_the_tree_pipeline() {
+        for (rows, cols) in [(10, 10), (12, 12)] {
+            let g = generators::triangulated_grid(rows, cols);
+            let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
+            let sel = select_gather_program(&g, leader, 0.1, &LoadBalanceParams::default());
+            assert_eq!(sel.strategy_name(), "tree-pipeline", "{rows}x{cols}");
+            let mut meter = RoundMeter::new();
+            let charged = crate::gather::tree_gather(&g, leader, &mut meter);
+            let report = sel.execute(&g, &ExecutorConfig::default()).unwrap();
+            assert!(
+                report.rounds <= charged.rounds,
+                "{rows}x{cols}: executed {} > charged {}",
+                report.rounds,
+                charged.rounds
+            );
+            assert!((report.delivered_fraction - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn selection_keeps_hubs_and_expanders_on_the_balancer() {
+        // The wheel's leader is a Θ(n)-degree hub; the hypercube is a
+        // bona-fide expander (φ ≈ 0.31) — both stay on Lemma 2.2, and both
+        // deliver within the failure budget.
+        for (name, g) in [
+            ("wheel-64", generators::wheel(64)),
+            ("hypercube-6", generators::hypercube(6)),
+        ] {
+            let leader = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap();
+            let f = 0.1;
+            let sel = select_gather_program(&g, leader, f, &LoadBalanceParams::default());
+            assert_eq!(sel.strategy_name(), "load-balance", "{name}");
+            let report = sel.execute(&g, &ExecutorConfig::default()).unwrap();
+            assert!(
+                report.delivered_fraction >= 1.0 - f,
+                "{name}: delivered {}",
+                report.delivered_fraction
+            );
+        }
+    }
 }

@@ -45,8 +45,14 @@ pub enum TreeMsg {
     /// The sender adopted the receiver as its BFS parent.
     Adopt,
     /// One unit message moving towards the leader; `last` marks the sender's
-    /// subtree as completely drained.
+    /// subtree as completely drained. The per-edge sequence number (an
+    /// O(log n)-bit counter riding the same CONGEST word) lets receivers
+    /// reject the duplicated or stale copies fault models inject — upcast
+    /// receipts feed the leader-honest delivered metric, which must never
+    /// over-report.
     Up {
+        /// Position in the sender's upcast stream on this edge.
+        seq: u32,
         /// Whether this is the sender's final upcast message.
         last: bool,
     },
@@ -71,12 +77,21 @@ pub struct TreeGatherState {
     pub self_received: u64,
     announced: bool,
     resolved: usize,
+    /// Neighbors whose wave message (`Announce`/`Adopt`) was processed,
+    /// sorted — duplicates injected by fault models classify nobody twice.
+    classified: Vec<usize>,
     /// Adopted children, ascending (all `Adopt`s arrive in one round).
     children: Vec<usize>,
     /// Messages received from each child (the echo quota owed back to it).
     up_from: Vec<u64>,
+    /// Per child: high-water mark of accepted upcast sequence numbers
+    /// (next acceptable `seq`); duplicates and stale slipped copies fall
+    /// below it and are ignored.
+    up_next: Vec<u32>,
     child_done: Vec<bool>,
     pending_up: u64,
+    /// Sequence number of this vertex's next upcast message.
+    up_seq: u32,
     sent_done: bool,
     down_assigned: Vec<u64>,
     down_sent: Vec<u64>,
@@ -84,10 +99,26 @@ pub struct TreeGatherState {
 }
 
 impl TreeGatherState {
-    fn child_index(&self, v: usize) -> usize {
-        self.children
-            .binary_search(&v)
-            .expect("up/done traffic only arrives from adopted children")
+    /// Slot of `v` among the adopted children, or `None` for a sender this
+    /// vertex never adopted. On a reliable network the `None` case is
+    /// unreachable (up/done traffic only arrives from adopted children); on
+    /// a faulty one a dropped `Adopt` makes it real, and the receiver's only
+    /// sound move is to ignore the orphaned traffic — the degradation the
+    /// fault experiments measure.
+    fn child_index(&self, v: usize) -> Option<usize> {
+        self.children.binary_search(&v).ok()
+    }
+
+    /// Registers a wave message from `v`; `false` for a duplicate.
+    fn classify(&mut self, v: usize) -> bool {
+        match self.classified.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.classified.insert(pos, v);
+                self.resolved += 1;
+                true
+            }
+        }
     }
 
     fn subtree_ready(&self, degree: usize) -> bool {
@@ -146,10 +177,13 @@ impl NodeProgram for TreeGatherProgram {
             parent: None,
             announced: false,
             resolved: 0,
+            classified: Vec::new(),
             children: Vec::new(),
             up_from: Vec::new(),
+            up_next: Vec::new(),
             child_done: Vec::new(),
             pending_up: if is_root { 0 } else { deg as u64 },
+            up_seq: 0,
             sent_done: false,
             down_assigned: Vec::new(),
             down_sent: Vec::new(),
@@ -171,26 +205,38 @@ impl NodeProgram for TreeGatherProgram {
         let was_announced = state.announced;
         for env in inbox {
             match env.msg {
+                // A wave message classifies its sender exactly once; a
+                // duplicated copy (fault injection) must not count twice.
                 TreeMsg::Announce(d) => {
-                    state.resolved += 1;
-                    if state.depth.is_none() {
+                    if state.classify(env.src) && state.depth.is_none() {
                         // The inbox is sorted by sender, so the first
-                        // announcement is the smallest-id neighbor one level
-                        // up — the build_bfs_tree parent rule.
+                        // announcement is the smallest-id neighbor one
+                        // level up — the build_bfs_tree parent rule.
                         state.depth = Some(d + 1);
                         state.parent = Some(env.src);
                     }
                 }
                 TreeMsg::Adopt => {
-                    state.resolved += 1;
-                    state.children.push(env.src);
-                    state.up_from.push(0);
-                    state.child_done.push(false);
-                    state.down_assigned.push(0);
-                    state.down_sent.push(0);
+                    if state.classify(env.src) {
+                        // Keep the per-child vectors aligned and sorted even
+                        // if a slipped adoption arrives out of order.
+                        let pos = state.children.binary_search(&env.src).unwrap_err();
+                        state.children.insert(pos, env.src);
+                        state.up_from.insert(pos, 0);
+                        state.up_next.insert(pos, 0);
+                        state.child_done.insert(pos, false);
+                        state.down_assigned.insert(pos, 0);
+                        state.down_sent.insert(pos, 0);
+                    }
                 }
-                TreeMsg::Up { last } => {
-                    let i = state.child_index(env.src);
+                TreeMsg::Up { seq, last } => {
+                    let Some(i) = state.child_index(env.src) else {
+                        continue; // orphaned by a lost Adopt
+                    };
+                    if seq < state.up_next[i] {
+                        continue; // duplicated or stale slipped copy
+                    }
+                    state.up_next[i] = seq + 1;
                     state.up_from[i] += 1;
                     if ctx.id == self.root {
                         // The leader bounces every message straight back.
@@ -203,14 +249,17 @@ impl NodeProgram for TreeGatherProgram {
                     }
                 }
                 TreeMsg::Done => {
-                    let i = state.child_index(env.src);
-                    state.child_done[i] = true;
+                    if let Some(i) = state.child_index(env.src) {
+                        state.child_done[i] = true;
+                    }
                 }
                 TreeMsg::Down => {
                     if state.self_received < ctx.degree() as u64 {
                         state.self_received += 1;
                     } else {
-                        let fed = state.down_assigned.iter_mut().zip(&state.up_from).any(
+                        // A duplicated answer can arrive with every quota
+                        // already filled; it has no owner and is dropped.
+                        let _fed = state.down_assigned.iter_mut().zip(&state.up_from).any(
                             |(assigned, quota)| {
                                 if *assigned < *quota {
                                     *assigned += 1;
@@ -220,7 +269,6 @@ impl NodeProgram for TreeGatherProgram {
                                 }
                             },
                         );
-                        debug_assert!(fed, "answer arrived with every quota filled");
                     }
                 }
             }
@@ -254,7 +302,9 @@ impl NodeProgram for TreeGatherProgram {
                     let ready = state.subtree_ready(ctx.degree());
                     if state.pending_up > 0 {
                         let last = state.pending_up == 1 && ready;
-                        out.send(p, TreeMsg::Up { last });
+                        let seq = state.up_seq;
+                        state.up_seq += 1;
+                        out.send(p, TreeMsg::Up { seq, last });
                         state.pending_up -= 1;
                         if last {
                             state.sent_done = true;
@@ -321,6 +371,20 @@ impl GatherProgram for TreeGatherProgram {
                 }
             })
             .collect()
+    }
+
+    /// The per-vertex counts above are source-side (wave coverage — exact on
+    /// completed runs, where the pipeline provably drains); under fault
+    /// injection the honest number is what the leader actually heard: its
+    /// children's upcast messages plus its own `deg` that never travel.
+    /// Upcast sequence numbers make each receipt count at most once, so
+    /// this can never exceed the total — deliberately unclamped, so any
+    /// over-counting bug would surface as a fraction above one.
+    fn leader_received(&self, states: &[TreeGatherState]) -> u64 {
+        states.get(self.root).map_or(0, |s| {
+            let from_children: u64 = s.up_from.iter().sum();
+            from_children + self.degrees[self.root] as u64
+        })
     }
 }
 

@@ -68,6 +68,18 @@ impl<'a> NodeCtx<'a> {
         self.neighbors.len()
     }
 
+    /// The same vertex context at a different round, sharing the engine seed.
+    ///
+    /// This is the adapter hook: a wrapper program (e.g. the
+    /// reliable-delivery adapter in `mfd-faults`) that multiplexes an inner
+    /// [`NodeProgram`]'s logical rounds onto its own physical rounds derives
+    /// the inner contexts this way, so the inner program sees exactly the
+    /// `(seed, vertex, round)` randomness streams it would see running
+    /// directly on an engine.
+    pub fn at_round(&self, round: u64) -> NodeCtx<'a> {
+        NodeCtx { round, ..*self }
+    }
+
     /// Deterministic per-vertex, per-round random generator.
     ///
     /// Seeded from `(executor seed, vertex id, round)`, so executions are
@@ -151,7 +163,13 @@ pub struct Outbox<'a, M> {
 }
 
 impl<'a, M: RuntimeMessage> Outbox<'a, M> {
-    pub(crate) fn new(src: usize, neighbors: &'a [usize]) -> Self {
+    /// Builds an empty outbox for one vertex (`neighbors` must be sorted).
+    ///
+    /// Engines get this wired up by `driver::step_vertex`; it is public so
+    /// adapter programs can drive an embedded [`NodeProgram`]'s round with
+    /// the same validated send path and then forward the collected sends
+    /// through their own envelopes ([`Outbox::into_sends`]).
+    pub fn new(src: usize, neighbors: &'a [usize]) -> Self {
         Outbox {
             src,
             neighbors,
@@ -188,6 +206,18 @@ impl<'a, M: RuntimeMessage> Outbox<'a, M> {
     /// Returns `true` if nothing has been queued.
     pub fn is_empty(&self) -> bool {
         self.msgs.is_empty()
+    }
+
+    /// The first model violation recorded at send time, if any.
+    pub fn violation(&self) -> Option<&CongestError> {
+        self.violation.as_ref()
+    }
+
+    /// Consumes the outbox into its queued sends, in send order:
+    /// `(destination, message, size in words)` — the adapter-visible message
+    /// envelopes an embedding program re-packages into its own payloads.
+    pub fn into_sends(self) -> Vec<(usize, M, usize)> {
+        self.msgs
     }
 }
 

@@ -1,0 +1,163 @@
+//! The event engine's fault-injection surface.
+//!
+//! The α-synchronizer ([`crate::simulator`] module docs) moves two distinct
+//! things over every edge: the **packet skeleton** (the per-round ready pulse
+//! with its round tag and halt flag) and the **program payload** riding
+//! inside it. Fault injection deliberately attacks only the payload — the
+//! skeleton is the simulation's control plane, the discrete-event analogue of
+//! the physical-layer framing a real transport assumes. Concretely, a
+//! [`FaultHook`] is consulted once per program message at the moment its
+//! packet is assembled, and may:
+//!
+//! * **drop** it (the message never reaches the receiver's inbox),
+//! * **duplicate** it (delivered on time *and* again a few rounds later),
+//! * **slip** it (delivered only in a later round's inbox — reordering
+//!   *beyond* latency jitter, since a slipped message is overtaken by
+//!   younger traffic on the same edge, which per-edge latency alone can
+//!   never produce).
+//!
+//! Round semantics survive: every vertex still executes well-defined local
+//! rounds, but its inbox may be missing messages, contain duplicates, or
+//! contain stragglers from earlier rounds (appended after the round's
+//! regular, sender-sorted messages). That is exactly the contract a
+//! reliable-delivery adapter has to repair — see `mfd-faults`.
+//!
+//! Independently, the hook can **crash-stop** vertices: a vertex with
+//! [`FaultHook::crash_round`]` = Some(r)` executes local rounds `1..r` and
+//! then dies silently — no halt announcement, no further packets. The engine
+//! plays the role of a perfect failure detector with delay
+//! [`FaultHook::detection_delay`]: that many ticks after the crash, each
+//! neighbor stops waiting for the dead vertex's packets (its rounds fire with
+//! the crashed sender absent from the inbox, which is how crash-robust
+//! programs observe failures — a missing heartbeat, not a callback).
+//! Programs wedged by losses or crashes are cut off by the round budget and
+//! reported as [`FaultOutcome::Wedged`] **with** their partial states, so
+//! experiments can measure how far a protocol got before starving.
+//!
+//! Determinism is preserved wholesale: a hook must be a pure function of
+//! `(seed, edge, round, index)` (interior memoization is fine), so faulty
+//! runs are exactly as reproducible as clean ones. [`NoFaults`] is the
+//! identity hook; [`crate::Simulator::run`] uses it, and
+//! [`crate::Simulator::run_with_faults`] with `NoFaults` is bit-for-bit the
+//! same simulation.
+
+use crate::report::SimExecution;
+
+/// What happens to one program message at the delivery hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered normally, in the round the synchronous schedule dictates.
+    Deliver,
+    /// Lost: never enters any inbox (the sender still paid for it — metered
+    /// accounting counts sends, not receipts).
+    Drop,
+    /// Delivered on time *and* again `slip` rounds later (`slip ≥ 1`).
+    Duplicate {
+        /// Extra rounds the duplicate copy lags behind the original.
+        slip: u64,
+    },
+    /// Delivered only `slip` rounds late (`slip ≥ 1`): the receiver sees it
+    /// appended to the inbox of local round `sent + 1 + slip` instead of
+    /// `sent + 1`, after that round's regular messages.
+    Slip {
+        /// Rounds of lateness.
+        slip: u64,
+    },
+}
+
+/// A deterministic fault model plugged into the event engine.
+///
+/// Implementations must be pure in `(seed, src, dst, round, index)` — never
+/// functions of event scheduling — so faulty simulations stay bit-for-bit
+/// reproducible and tie-break independent. Stateful models (e.g. a
+/// Gilbert–Elliott channel) should memoize per-edge chains internally, keyed
+/// by the same arguments.
+pub trait FaultHook {
+    /// Fate of the `index`-th program message the vertex `src` sends to `dst`
+    /// while executing local round `round`, under the given run seed.
+    fn message_fate(
+        &self,
+        seed: u64,
+        src: usize,
+        dst: usize,
+        round: u64,
+        index: usize,
+    ) -> MessageFate;
+
+    /// The local round before which `vertex` crash-stops (it executes rounds
+    /// `1..r` and then dies silently), or `None` to never crash.
+    fn crash_round(&self, vertex: usize) -> Option<u64> {
+        let _ = vertex;
+        None
+    }
+
+    /// Ticks after a crash until each neighbor's failure detector fires and
+    /// stops waiting for the dead vertex (clamped to ≥ 1).
+    fn detection_delay(&self) -> u64 {
+        1
+    }
+}
+
+/// The identity hook: every message delivered, no crashes.
+///
+/// [`crate::Simulator::run`] is exactly `run_with_faults` under `NoFaults`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn message_fate(
+        &self,
+        _seed: u64,
+        _src: usize,
+        _dst: usize,
+        _round: u64,
+        _index: usize,
+    ) -> MessageFate {
+        MessageFate::Deliver
+    }
+}
+
+/// How a faulted simulation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Every vertex halted (or crashed) on its own.
+    Completed,
+    /// Some vertex hit the round budget — the protocol starved under the
+    /// injected faults (e.g. it waits forever for a dropped control
+    /// message). States are reported as of the abort.
+    Wedged {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl FaultOutcome {
+    /// Whether the run starved instead of completing.
+    pub fn is_wedged(&self) -> bool {
+        matches!(self, FaultOutcome::Wedged { .. })
+    }
+}
+
+/// Result of a simulation under fault injection: the usual execution report
+/// plus the fault-specific verdicts.
+#[derive(Debug)]
+pub struct FaultedRun<S> {
+    /// The execution report (states, meter, makespan, stats — including the
+    /// fault counters in [`crate::SimStats`]). For wedged runs these are the
+    /// partial results at the abort.
+    pub run: SimExecution<S>,
+    /// Whether the run completed or starved.
+    pub outcome: FaultOutcome,
+    /// Per-vertex crash verdicts: `true` for vertices the crash schedule
+    /// killed before they halted on their own.
+    pub crashed: Vec<bool>,
+}
+
+impl<S> FaultedRun<S> {
+    /// Indices of the surviving (never-crashed) vertices, ascending.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.crashed.len())
+            .filter(|&v| !self.crashed[v])
+            .collect()
+    }
+}

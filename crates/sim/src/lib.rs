@@ -101,10 +101,23 @@
 //! graph as a link-latency map — and [`LatencyModel::HeavyTail`] models
 //! straggler links with a truncated Pareto distribution.
 
+//! # Fault injection
+//!
+//! The engine's delivery path is also the workspace's fault-injection
+//! surface: [`Simulator::run_with_faults`] consults a [`FaultHook`] once per
+//! program message (drop / duplicate / slip to a later round) and supports
+//! crash-stop vertices with a failure-detector delay — see the [`faults`]
+//! module docs for the exact semantics and determinism contract. Fault
+//! *models* (i.i.d. and Gilbert–Elliott loss, chaos mixes, crash schedules)
+//! and the reliable-delivery adapter that repairs a lossy network live one
+//! layer up, in `mfd-faults`.
+
+pub mod faults;
 pub mod latency;
 pub mod report;
 pub mod simulator;
 
+pub use faults::{FaultHook, FaultOutcome, FaultedRun, MessageFate, NoFaults};
 pub use latency::LatencyModel;
 pub use report::{SimExecution, SimStats};
 pub use simulator::{run_both, SimConfig, Simulator, TieBreak};

@@ -53,6 +53,22 @@ pub struct SimStats {
     /// Packets that arrived at an already-halted vertex and were dropped
     /// (their synchronous counterparts are likewise never read).
     pub dropped_packets: u64,
+    /// Program messages the fault hook dropped at delivery (zero without
+    /// fault injection; see [`crate::faults`]).
+    pub lost_messages: u64,
+    /// Program messages the fault hook duplicated (the copy arrives late).
+    pub duplicated_messages: u64,
+    /// Program messages the fault hook slipped to a later round.
+    pub slipped_messages: u64,
+    /// Slipped or duplicated copies that actually reached a later inbox.
+    pub slipped_delivered: u64,
+    /// Slipped or duplicated copies whose target round never executed (the
+    /// receiver halted, crashed or starved first).
+    pub stale_slipped: u64,
+    /// Failure-detector notices delivered on behalf of crashed vertices.
+    pub crash_notices: u64,
+    /// Vertices the crash schedule killed.
+    pub crashed_vertices: u64,
     /// Peak number of packets simultaneously in flight across the network.
     pub peak_in_flight: usize,
     /// Undirected edges `(u, v)` with `u < v`, aligned with

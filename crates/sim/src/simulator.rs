@@ -39,6 +39,7 @@ use mfd_runtime::{
     Envelope, Execution, Executor, ExecutorConfig, NodeCtx, NodeProgram, RuntimeError,
 };
 
+use crate::faults::{FaultHook, FaultOutcome, FaultedRun, MessageFate, NoFaults};
 use crate::latency::LatencyModel;
 use crate::report::{SimExecution, SimStats};
 
@@ -139,10 +140,46 @@ impl Simulator {
         program: &P,
     ) -> Result<SimExecution<P::State>, RuntimeError> {
         let adj = driver::sorted_adjacency(g);
-        let mut engine = Engine::new(g, program, &adj, &self.config);
+        let mut engine = Engine::new(g, program, &adj, &self.config, &NoFaults);
         engine.start()?;
         engine.drain()?;
-        engine.finish()
+        engine.finish().map(|(run, _)| run)
+    }
+
+    /// Runs `program` under fault injection: every program message passes
+    /// through `hook` at delivery, and vertices crash-stop per the hook's
+    /// crash schedule (see the [`crate::faults`] module docs).
+    ///
+    /// Unlike [`Simulator::run`], a run that exhausts its round budget is
+    /// **not** an error here: starving is an expected outcome of injected
+    /// faults, so the partial states are returned with
+    /// [`FaultOutcome::Wedged`]. With [`NoFaults`] this is bit-for-bit
+    /// identical to [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Model`] if the program violates the CONGEST model
+    /// (faults never excuse a violation — they act strictly after the meter
+    /// has validated the round's sends).
+    pub fn run_with_faults<P: NodeProgram, F: FaultHook>(
+        &self,
+        g: &Graph,
+        program: &P,
+        hook: &F,
+    ) -> Result<FaultedRun<P::State>, RuntimeError> {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine = Engine::new(g, program, &adj, &self.config, hook);
+        let outcome = match engine.start().and_then(|()| engine.drain()) {
+            Ok(()) => FaultOutcome::Completed,
+            Err(RuntimeError::RoundLimit { limit }) => FaultOutcome::Wedged { limit },
+            Err(e) => return Err(e),
+        };
+        let (run, crashed) = engine.finish()?;
+        Ok(FaultedRun {
+            run,
+            outcome,
+            crashed,
+        })
     }
 }
 
@@ -152,18 +189,28 @@ struct Packet<M> {
     dst: usize,
     /// The sender's local round when the packet was sent.
     tag: u64,
-    /// Program messages for this edge, in send order, with word sizes.
-    payload: Vec<(M, usize)>,
+    /// Program messages for this edge, in send order, with word sizes and
+    /// the rounds of extra lateness the fault hook imposed (0 = on time).
+    payload: Vec<(M, usize, u64)>,
     /// Whether the sender halted after the tagged round (tag 0: at init).
     halt: bool,
+    /// A failure-detector notification (crashed sender, no real packet):
+    /// only excuses the receiver from waiting past the tag.
+    notice: bool,
 }
 
 /// Buffered packets of one tag: per sender, its payload in send order.
 type TaggedBuffer<M> = Vec<(usize, Vec<(M, usize)>)>;
 
+/// A message the fault hook slipped to a later round, keyed for
+/// deterministic replay: `(sender, original tag, send index, message)`.
+type LateMsg<M> = (usize, u64, usize, M);
+
 /// Per-vertex synchronizer state.
 struct VertexSim<M> {
     halted: bool,
+    /// Crash-stopped by the fault schedule (disjoint from `halted`).
+    crashed: bool,
     /// The next local round this vertex will execute (starts at 1).
     next_round: u64,
     /// Simulated time of the most recent (eventually: final) execution.
@@ -171,15 +218,26 @@ struct VertexSim<M> {
     /// Buffered packets by tag: sender and payload, awaiting consumption at
     /// local round `tag + 1`.
     pending: HashMap<u64, TaggedBuffer<M>>,
+    /// Messages the fault hook slipped, keyed by the local round whose inbox
+    /// they will join (after that round's regular messages).
+    late: HashMap<u64, Vec<LateMsg<M>>>,
     /// For each neighbor known to have halted: the last tag it sent.
     nbr_final_tag: HashMap<usize, u64>,
 }
 
-struct Engine<'a, P: NodeProgram> {
+impl<M> VertexSim<M> {
+    /// Halted or crashed: no longer scheduled, mail dropped on arrival.
+    fn gone(&self) -> bool {
+        self.halted || self.crashed
+    }
+}
+
+struct Engine<'a, P: NodeProgram, F: FaultHook> {
     g: &'a Graph,
     program: &'a P,
     adj: &'a [Vec<usize>],
     config: &'a SimConfig,
+    hook: &'a F,
     /// Effective round budget: the configured cap, tightened by the
     /// program's [`NodeProgram::round_budget_hint`].
     max_rounds: u64,
@@ -226,8 +284,14 @@ fn ekey(u: usize, v: usize) -> (usize, usize) {
     (u.min(v), u.max(v))
 }
 
-impl<'a, P: NodeProgram> Engine<'a, P> {
-    fn new(g: &'a Graph, program: &'a P, adj: &'a [Vec<usize>], config: &'a SimConfig) -> Self {
+impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
+    fn new(
+        g: &'a Graph,
+        program: &'a P,
+        adj: &'a [Vec<usize>],
+        config: &'a SimConfig,
+        hook: &'a F,
+    ) -> Self {
         let n = g.n();
         let seed = config.seed;
         let mut edge_index = HashMap::new();
@@ -242,9 +306,11 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
         let vx: Vec<VertexSim<P::Msg>> = (0..n)
             .map(|v| VertexSim {
                 halted: program.halted(&NodeCtx::new(v, n, 0, &adj[v], seed), &states[v]),
+                crashed: false,
                 next_round: 1,
                 completion: 0,
                 pending: HashMap::new(),
+                late: HashMap::new(),
                 nbr_final_tag: HashMap::new(),
             })
             .collect();
@@ -259,6 +325,7 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
             program,
             adj,
             config,
+            hook,
             max_rounds: config
                 .max_rounds
                 .min(program.round_budget_hint().unwrap_or(u64::MAX)),
@@ -299,6 +366,7 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
                             tag: 0,
                             payload: Vec::new(),
                             halt: true,
+                            notice: false,
                         },
                         0,
                     );
@@ -336,14 +404,14 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
                 touched.reverse();
             }
             for v in touched {
-                if !self.vx[v].halted {
+                if !self.vx[v].gone() {
                     self.try_advance(v, now)?;
                 }
             }
             self.pump_meter()?;
         }
         debug_assert!(
-            self.vx.iter().all(|x| x.halted),
+            self.vx.iter().all(VertexSim::gone),
             "event queue drained with live vertices — synchronizer invariant broken"
         );
         Ok(())
@@ -366,7 +434,7 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
         Ok(())
     }
 
-    fn finish(mut self) -> Result<SimExecution<P::State>, RuntimeError> {
+    fn finish(mut self) -> Result<(SimExecution<P::State>, Vec<bool>), RuntimeError> {
         // Flush the rounds still unsubmitted when the last vertices halted.
         for i in self.submitted..self.per_round.len() {
             let msgs = std::mem::take(&mut self.per_round[i]);
@@ -376,21 +444,45 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
         }
         let meter = self.meter;
         self.stats.payload_messages = meter.messages();
+        // Slipped messages whose target round never executed (the receiver
+        // halted, crashed or starved first) are stale: sent, never read.
+        self.stats.stale_slipped += self
+            .vx
+            .iter()
+            .flat_map(|x| x.late.values())
+            .map(|msgs| msgs.len() as u64)
+            .sum::<u64>();
         let completion: Vec<u64> = self.vx.iter().map(|x| x.completion).collect();
+        let crashed: Vec<bool> = self.vx.iter().map(|x| x.crashed).collect();
         self.stats.edges = self.edges;
         self.stats.edge_in_flight_peak = self.edge_peak;
-        Ok(SimExecution {
-            rounds: meter.rounds(),
-            messages: meter.messages(),
-            makespan: self.makespan,
-            completion,
-            stats: self.stats,
-            states: self.states,
-            meter,
-        })
+        Ok((
+            SimExecution {
+                rounds: meter.rounds(),
+                messages: meter.messages(),
+                makespan: self.makespan,
+                completion,
+                stats: self.stats,
+                states: self.states,
+                meter,
+            },
+            crashed,
+        ))
     }
 
     fn arrive(&mut self, packet: Packet<P::Msg>, touched: &mut Vec<usize>) {
+        if packet.notice {
+            // Failure-detector verdict: stop waiting for the crashed sender
+            // past its final executed round. Not a network packet — no
+            // congestion accounting, nothing enters any inbox.
+            if !self.vx[packet.dst].gone() {
+                self.vx[packet.dst]
+                    .nbr_final_tag
+                    .insert(packet.src, packet.tag);
+                touched.push(packet.dst);
+            }
+            return;
+        }
         let e = self.edge_index[&ekey(packet.src, packet.dst)];
         self.in_flight[e] -= 1;
         self.cur_in_flight -= 1;
@@ -399,18 +491,41 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
                 .nbr_final_tag
                 .insert(packet.src, packet.tag);
         }
-        if self.vx[packet.dst].halted {
+        if self.vx[packet.dst].gone() {
             // The synchronous engine likewise never reads mail addressed to a
-            // halted vertex.
+            // halted vertex. Slipped/duplicated copies in the payload go
+            // stale here, not into a late buffer, so they are counted now —
+            // the fault counters must balance.
             self.stats.dropped_packets += 1;
+            self.stats.stale_slipped += packet
+                .payload
+                .iter()
+                .filter(|&&(_, _, slip)| slip > 0)
+                .count() as u64;
             return;
         }
         if packet.tag >= 1 {
+            // Split the payload: on-time messages join the tag's synchronous
+            // inbox; slipped ones wait for their later target round. The
+            // packet itself is always registered — the skeleton is the ready
+            // pulse the synchronizer counts, faults only touch the payload.
+            let mut on_time = Vec::with_capacity(packet.payload.len());
+            for (idx, (msg, words, slip)) in packet.payload.into_iter().enumerate() {
+                if slip == 0 {
+                    on_time.push((msg, words));
+                } else {
+                    self.vx[packet.dst]
+                        .late
+                        .entry(packet.tag + 1 + slip)
+                        .or_default()
+                        .push((packet.src, packet.tag, idx, msg));
+                }
+            }
             self.vx[packet.dst]
                 .pending
                 .entry(packet.tag)
                 .or_default()
-                .push((packet.src, packet.payload));
+                .push((packet.src, on_time));
         }
         // Even a tag-0 halt announcement can unblock the receiver (it stops
         // waiting for that neighbor), so the vertex is always re-examined.
@@ -420,12 +535,75 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
     /// Executes as many consecutive local rounds of `v` as are ready at the
     /// current tick. Several rounds can fire back to back: a vertex whose
     /// neighbors ran ahead may hold all the packets its next round needs, and
-    /// an isolated vertex has no one to wait for at all.
+    /// an isolated vertex has no one to wait for at all. A vertex whose crash
+    /// round has come dies instead of executing.
     fn try_advance(&mut self, v: usize, now: u64) -> Result<(), RuntimeError> {
-        while !self.vx[v].halted && self.ready(v) {
+        loop {
+            if self.vx[v].gone() {
+                return Ok(());
+            }
+            if let Some(r) = self.hook.crash_round(v) {
+                if self.vx[v].next_round >= r {
+                    self.crash(v, now);
+                    return Ok(());
+                }
+            }
+            if !self.ready(v) {
+                return Ok(());
+            }
             self.execute_round(v, now)?;
         }
-        Ok(())
+    }
+
+    /// Crash-stops `v` just before its next local round: it sends nothing
+    /// ever again, and `detection_delay` ticks later each neighbor's failure
+    /// detector fires and stops waiting for it.
+    fn crash(&mut self, v: usize, now: u64) {
+        let r = self.vx[v].next_round;
+        self.vx[v].crashed = true;
+        self.vx[v].completion = now;
+        self.stats.crashed_vertices += 1;
+        self.leave_round(v, r, true);
+        let delay = self.hook.detection_delay().max(1);
+        for i in 0..self.adj[v].len() {
+            let u = self.adj[v][i];
+            self.stats.crash_notices += 1;
+            self.enqueue(
+                Packet {
+                    src: v,
+                    dst: u,
+                    tag: r - 1,
+                    payload: Vec::new(),
+                    halt: false,
+                    notice: true,
+                },
+                now + delay,
+            );
+        }
+    }
+
+    /// Frontier bookkeeping for a vertex leaving round `r`'s live population,
+    /// either for round `r + 1` or (halt/crash) for good. The frontier only
+    /// ever advances, so the catch-up walk is amortized over the whole run.
+    fn leave_round(&mut self, _v: usize, r: u64, gone: bool) {
+        if let Some(pop) = self.round_pop.get_mut(&r) {
+            *pop -= 1;
+            if *pop == 0 {
+                self.round_pop.remove(&r);
+            }
+        }
+        if gone {
+            self.live -= 1;
+        } else {
+            *self.round_pop.entry(r + 1).or_insert(0) += 1;
+        }
+        if self.live == 0 {
+            self.frontier = u64::MAX;
+        } else {
+            while !self.round_pop.contains_key(&self.frontier) {
+                self.frontier += 1;
+            }
+        }
     }
 
     /// Whether `v` holds everything its next local round needs: a packet
@@ -463,7 +641,7 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
         // increasing sender order (the synchronous executor's commit order).
         let mut buffered = self.vx[v].pending.remove(&(r - 1)).unwrap_or_default();
         buffered.sort_unstable_by_key(|&(src, _)| src);
-        let inbox: Vec<Envelope<P::Msg>> = buffered
+        let mut inbox: Vec<Envelope<P::Msg>> = buffered
             .into_iter()
             .flat_map(|(src, payload)| {
                 payload
@@ -471,6 +649,18 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
                     .map(move |(msg, _words)| Envelope { src, msg })
             })
             .collect();
+        // Messages the fault hook slipped to this round join after the
+        // regular, sender-sorted ones, in a deterministic replay order
+        // (sender, original round, send index) that no event-queue
+        // tie-breaking can perturb.
+        if let Some(mut late) = self.vx[v].late.remove(&r) {
+            late.sort_unstable_by_key(|&(src, tag, idx, _)| (src, tag, idx));
+            self.stats.slipped_delivered += late.len() as u64;
+            inbox.extend(
+                late.into_iter()
+                    .map(|(src, _, _, msg)| Envelope { src, msg }),
+            );
+        }
 
         let adj = self.adj;
         let program = self.program;
@@ -487,37 +677,37 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
         }
         self.per_round[(r - 1) as usize].extend(driver::to_messages(v, &out.sends));
 
-        // Group this round's sends by destination, preserving send order.
-        let mut by_nbr: HashMap<usize, Vec<(P::Msg, usize)>> = HashMap::new();
+        // Group this round's sends by destination, preserving send order,
+        // with the fault hook ruling on every message *after* it was metered
+        // (the sender pays for lost messages; only delivery changes). The
+        // per-edge send index keys the hook's random stream.
+        let mut by_nbr: HashMap<usize, Vec<(P::Msg, usize, u64)>> = HashMap::new();
+        let mut sent_to: HashMap<usize, usize> = HashMap::new();
+        let seed = self.config.seed;
         for (dst, msg, words) in out.sends {
-            by_nbr.entry(dst).or_default().push((msg, words));
+            let counter = sent_to.entry(dst).or_insert(0);
+            let index = *counter;
+            *counter += 1;
+            let entry = by_nbr.entry(dst).or_default();
+            match self.hook.message_fate(seed, v, dst, r, index) {
+                MessageFate::Deliver => entry.push((msg, words, 0)),
+                MessageFate::Drop => self.stats.lost_messages += 1,
+                MessageFate::Duplicate { slip } => {
+                    self.stats.duplicated_messages += 1;
+                    entry.push((msg.clone(), words, 0));
+                    entry.push((msg, words, slip.max(1)));
+                }
+                MessageFate::Slip { slip } => {
+                    self.stats.slipped_messages += 1;
+                    entry.push((msg, words, slip.max(1)));
+                }
+            }
         }
 
         self.vx[v].halted = out.halted;
         self.vx[v].next_round = r + 1;
         self.vx[v].completion = now;
-
-        // Frontier bookkeeping: `v` leaves round r's live population, either
-        // for round r + 1 or (on halt) for good. The frontier only ever
-        // advances, so the catch-up walk is amortized over the whole run.
-        if let Some(pop) = self.round_pop.get_mut(&r) {
-            *pop -= 1;
-            if *pop == 0 {
-                self.round_pop.remove(&r);
-            }
-        }
-        if out.halted {
-            self.live -= 1;
-        } else {
-            *self.round_pop.entry(r + 1).or_insert(0) += 1;
-        }
-        if self.live == 0 {
-            self.frontier = u64::MAX;
-        } else {
-            while !self.round_pop.contains_key(&self.frontier) {
-                self.frontier += 1;
-            }
-        }
+        self.leave_round(v, r, out.halted);
 
         // The synchronizer pulse: one packet per neighbor, tagged with this
         // round, carrying the payload for that edge and the halt flag.
@@ -530,6 +720,7 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
                     tag: r,
                     payload,
                     halt: out.halted,
+                    notice: false,
                 },
                 now,
             );
@@ -556,6 +747,13 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
         // are independent of equal-time event ordering.
         self.edge_peak[e] = self.edge_peak[e].max(self.in_flight[e]);
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.cur_in_flight);
+        self.enqueue(packet, now + delay);
+    }
+
+    /// Schedules `packet` for arrival at `when` (no latency sampling, no
+    /// congestion accounting — [`Engine::send_packet`] layers those on top;
+    /// crash notices use this directly).
+    fn enqueue(&mut self, packet: Packet<P::Msg>, when: u64) {
         let seq = match self.config.tie_break {
             TieBreak::InsertionOrder => self.seq,
             TieBreak::ReverseInsertion => u64::MAX - self.seq,
@@ -571,7 +769,7 @@ impl<'a, P: NodeProgram> Engine<'a, P> {
                 self.packets.len() - 1
             }
         };
-        self.heap.push(Reverse((now + delay, seq, idx)));
+        self.heap.push(Reverse((when, seq, idx)));
     }
 }
 
@@ -926,5 +1124,230 @@ mod tests {
         assert_eq!(run.rounds, 0);
         assert_eq!(run.makespan, 0);
         assert!(run.states.is_empty());
+    }
+
+    /// Drops every message to odd-id vertices; crashes per a fixed schedule.
+    struct TestHook {
+        drop_to_odd: bool,
+        crashes: Vec<(usize, u64)>,
+        slip_all: u64,
+    }
+
+    impl FaultHook for TestHook {
+        fn message_fate(
+            &self,
+            _seed: u64,
+            _src: usize,
+            dst: usize,
+            _round: u64,
+            _index: usize,
+        ) -> MessageFate {
+            if self.drop_to_odd && dst % 2 == 1 {
+                MessageFate::Drop
+            } else if self.slip_all > 0 {
+                MessageFate::Slip {
+                    slip: self.slip_all,
+                }
+            } else {
+                MessageFate::Deliver
+            }
+        }
+
+        fn crash_round(&self, vertex: usize) -> Option<u64> {
+            self.crashes
+                .iter()
+                .find(|&&(v, _)| v == vertex)
+                .map(|&(_, r)| r)
+        }
+    }
+
+    #[test]
+    fn no_faults_hook_is_bit_identical_to_plain_run() {
+        let g = generators::triangulated_grid(5, 5);
+        let cfg = SimConfig::default().with_latency(LatencyModel::Uniform { lo: 1, hi: 4 });
+        let plain = Simulator::new(cfg.clone()).run(&g, &Census).unwrap();
+        let faulted = Simulator::new(cfg)
+            .run_with_faults(&g, &Census, &NoFaults)
+            .unwrap();
+        assert_eq!(faulted.outcome, FaultOutcome::Completed);
+        assert!(faulted.crashed.iter().all(|&c| !c));
+        assert_eq!(plain.states, faulted.run.states);
+        assert_eq!(plain.makespan, faulted.run.makespan);
+        assert_eq!(plain.completion, faulted.run.completion);
+        assert_eq!(plain.rounds, faulted.run.rounds);
+        assert_eq!(plain.messages, faulted.run.messages);
+        assert_eq!(plain.stats.packets, faulted.run.stats.packets);
+        assert_eq!(faulted.run.stats.lost_messages, 0);
+        assert_eq!(faulted.run.stats.crashed_vertices, 0);
+    }
+
+    #[test]
+    fn dropped_messages_never_reach_the_inbox_but_are_still_metered() {
+        let g = generators::cycle(8);
+        let hook = TestHook {
+            drop_to_odd: true,
+            crashes: vec![],
+            slip_all: 0,
+        };
+        let run = Simulator::new(SimConfig::default())
+            .run_with_faults(&g, &Census, &hook)
+            .unwrap();
+        assert_eq!(run.outcome, FaultOutcome::Completed);
+        // Senders paid for every message; odd receivers heard nothing.
+        assert_eq!(run.run.messages, 2 * g.m() as u64);
+        assert_eq!(run.run.stats.lost_messages, g.m() as u64);
+        for (v, &(_, heard)) in run.run.states.iter().enumerate() {
+            assert_eq!(heard, if v % 2 == 0 { 2 } else { 0 }, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn slipped_messages_arrive_in_a_later_round_or_go_stale() {
+        /// Counts messages per round for four rounds; broadcasts once.
+        struct SlowCensus;
+        impl NodeProgram for SlowCensus {
+            type State = Vec<u64>;
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) -> Vec<u64> {
+                Vec::new()
+            }
+            fn round(
+                &self,
+                ctx: &NodeCtx,
+                state: &mut Vec<u64>,
+                inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                state.push(inbox.len() as u64);
+                if ctx.round == 1 {
+                    out.broadcast(ctx.id as u64);
+                }
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &Vec<u64>) -> bool {
+                ctx.round >= 4
+            }
+        }
+        let g = generators::cycle(6);
+        let hook = TestHook {
+            drop_to_odd: false,
+            crashes: vec![],
+            slip_all: 2,
+        };
+        let run = Simulator::new(SimConfig::default())
+            .run_with_faults(&g, &SlowCensus, &hook)
+            .unwrap();
+        assert_eq!(run.outcome, FaultOutcome::Completed);
+        // Round-1 messages slip from round 2 to round 4.
+        for (v, counts) in run.run.states.iter().enumerate() {
+            assert_eq!(counts, &vec![0, 0, 0, 2], "vertex {v}");
+        }
+        assert_eq!(run.run.stats.slipped_messages, 2 * g.m() as u64);
+        assert_eq!(run.run.stats.slipped_delivered, 2 * g.m() as u64);
+        assert_eq!(run.run.stats.stale_slipped, 0);
+    }
+
+    #[test]
+    fn crashed_vertices_die_silently_and_neighbors_are_excused() {
+        // Vertex 2 of a path crashes before round 2: it heartbeats once,
+        // then vanishes; the others complete their three rounds.
+        struct Heartbeat;
+        impl NodeProgram for Heartbeat {
+            type State = Vec<usize>; // ids heard per round, flattened
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) -> Vec<usize> {
+                Vec::new()
+            }
+            fn round(
+                &self,
+                _ctx: &NodeCtx,
+                state: &mut Vec<usize>,
+                inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                for env in inbox {
+                    state.push(env.src);
+                }
+                out.broadcast(1);
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &Vec<usize>) -> bool {
+                ctx.round >= 3
+            }
+        }
+        let g = generators::path(5);
+        let hook = TestHook {
+            drop_to_odd: false,
+            crashes: vec![(2, 2)],
+            slip_all: 0,
+        };
+        let run = Simulator::new(SimConfig::default())
+            .run_with_faults(&g, &Heartbeat, &hook)
+            .unwrap();
+        assert_eq!(run.outcome, FaultOutcome::Completed);
+        assert_eq!(run.crashed, vec![false, false, true, false, false]);
+        assert_eq!(run.survivors(), vec![0, 1, 3, 4]);
+        assert_eq!(run.run.stats.crashed_vertices, 1);
+        assert_eq!(run.run.stats.crash_notices, 2);
+        // Vertex 1 heard its neighbors in round 2 (including 2's round-1
+        // heartbeat) but only vertex 0 in round 3 — 2 died after one round.
+        assert_eq!(run.run.states[1], vec![0, 2, 0]);
+        assert_eq!(run.run.states[3], vec![2, 4, 4]);
+        // The crashed vertex executed exactly one round — whose synchronous
+        // inbox is empty by definition, so it heard nothing at all.
+        assert_eq!(run.run.states[2], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn starved_runs_wedge_with_partial_states_instead_of_erroring() {
+        // Every vertex waits for one message that the hook always drops.
+        struct WaitForever;
+        impl NodeProgram for WaitForever {
+            type State = bool; // heard anything?
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) -> bool {
+                false
+            }
+            fn round(
+                &self,
+                ctx: &NodeCtx,
+                state: &mut bool,
+                inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                *state |= !inbox.is_empty();
+                if ctx.round == 1 {
+                    out.broadcast(7);
+                }
+            }
+            fn halted(&self, _ctx: &NodeCtx, state: &bool) -> bool {
+                *state
+            }
+        }
+        struct DropAll;
+        impl FaultHook for DropAll {
+            fn message_fate(
+                &self,
+                _seed: u64,
+                _src: usize,
+                _dst: usize,
+                _round: u64,
+                _index: usize,
+            ) -> MessageFate {
+                MessageFate::Drop
+            }
+        }
+        let g = generators::cycle(4);
+        let sim = Simulator::new(SimConfig {
+            max_rounds: 20,
+            ..SimConfig::default()
+        });
+        let run = sim.run_with_faults(&g, &WaitForever, &DropAll).unwrap();
+        assert_eq!(run.outcome, FaultOutcome::Wedged { limit: 20 });
+        assert!(run.outcome.is_wedged());
+        assert!(run.run.states.iter().all(|&heard| !heard));
+        assert_eq!(run.run.stats.lost_messages, 2 * g.m() as u64);
+        // Without the hook the very same program completes in two rounds —
+        // the starvation really was the faults' doing.
+        let clean = sim.run(&g, &WaitForever).unwrap();
+        assert!(clean.states.iter().all(|&heard| heard));
     }
 }

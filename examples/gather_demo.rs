@@ -17,7 +17,7 @@ use mfd_routing::load_balance::{
 use mfd_routing::programs::{
     execute_gather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
 };
-use mfd_routing::walks::{execute_walk_gather, plan_walk_schedule, WalkParams};
+use mfd_routing::walks::{execute_walk_gather, plan_walk_schedule};
 use mfd_runtime::ExecutorConfig;
 use mfd_sim::{LatencyModel, SimConfig, Simulator};
 
@@ -90,12 +90,7 @@ fn main() {
             charged.delivered_fraction,
         );
 
-        let params = WalkParams {
-            max_seed_tries: 6,
-            max_walks_per_message: 16,
-            max_steps: 256,
-            ..WalkParams::default()
-        };
+        let params = mfd::bench::acceptance_walk_params();
         let plan = plan_walk_schedule(&g, leader, 0.2, &params);
         let mut meter = RoundMeter::new();
         let charged = execute_walk_gather(&g, &plan, &params, &mut meter);

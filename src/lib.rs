@@ -9,7 +9,10 @@
 //! * [`routing`] — information-gathering strategies (§2), metered and executed.
 //! * [`runtime`] — the parallel round-synchronous execution engine.
 //! * [`sim`] — the deterministic discrete-event asynchronous simulator
-//!   (latency models + α-synchronizer).
+//!   (latency models + α-synchronizer + fault-injection hooks).
+//! * [`faults`] — fault models (loss, duplication, reordering, crash-stop),
+//!   the `Reliable<P>` recovery adapter, and the gather-under-faults /
+//!   leader re-election experiments.
 //! * [`apps`] — applications (MIS, matching, cover, cut, testing).
 //! * [`bench`](mod@bench) — benchmark workloads, table formatting, and the
 //!   JSON tooling behind the CI regression gate.
@@ -18,6 +21,7 @@ pub use mfd_apps as apps;
 pub use mfd_bench as bench;
 pub use mfd_congest as congest;
 pub use mfd_core as core;
+pub use mfd_faults as faults;
 pub use mfd_graph as graph;
 pub use mfd_routing as routing;
 pub use mfd_runtime as runtime;

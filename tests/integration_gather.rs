@@ -29,14 +29,10 @@ fn max_degree_vertex(g: &Graph) -> usize {
 
 /// Walk parameters with tighter caps than the defaults: the differential
 /// contract is identical (metered and executed share the plan), but the
-/// leader-local seed search stays cheap enough for debug-mode CI.
+/// leader-local seed search stays cheap enough for debug-mode CI. Shared
+/// with the CI-gated report sections via `mfd_bench`.
 fn test_walk_params() -> WalkParams {
-    WalkParams {
-        max_seed_tries: 6,
-        max_walks_per_message: 16,
-        max_steps: 256,
-        ..WalkParams::default()
-    }
+    mfd_bench::acceptance_walk_params()
 }
 
 #[test]
