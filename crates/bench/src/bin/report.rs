@@ -21,7 +21,7 @@ use mfd_apps::solvers;
 use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
 use mfd_bench::{f3, Table};
 use mfd_congest::RoundMeter;
-use mfd_core::edt::{build_edt, EdtConfig};
+use mfd_core::edt::{build_edt, build_edt_with, EdtConfig};
 use mfd_core::expander::{
     min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams,
 };
@@ -31,6 +31,7 @@ use mfd_core::programs::{BfsProgram, ColeVishkinProgram, VoronoiLddProgram};
 use mfd_faults::{crash_and_regather, gather_raw, gather_recovered, FaultModel, Reliable};
 use mfd_graph::generators;
 use mfd_graph::properties::splitmix64;
+use mfd_routing::backend::Executed;
 use mfd_routing::gather::{gather_to_leader, GatherStrategy};
 use mfd_routing::load_balance::{LoadBalanceParams, LoadBalancePlan};
 use mfd_routing::programs::{
@@ -97,6 +98,9 @@ fn main() {
     }
     if want("faults") {
         faults_report();
+    }
+    if want("edt") {
+        edt_report();
     }
 }
 
@@ -1108,5 +1112,151 @@ fn faults_report() {
     );
     let path = "BENCH_faults.json";
     std::fs::write(path, json).expect("write BENCH_faults.json");
+    println!("wrote {path} ({} series)", rows.len());
+}
+
+/// One (ε, D, T)-construction measurement destined for `BENCH_edt.json`:
+/// a backend on a graph family, split into the construction and routing
+/// phases of Table 1.
+struct EdtRow {
+    graph: String,
+    n: usize,
+    m: usize,
+    eps: f64,
+    backend: &'static str,
+    phase: &'static str,
+    rounds: u64,
+    messages: u64,
+    delivered: Option<f64>,
+}
+
+impl EdtRow {
+    fn to_json(&self) -> String {
+        let delivered = match self.delivered {
+            Some(d) => format!("{d:.6}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"eps\":{:.3},\"backend\":\"{}\",\
+             \"phase\":\"{}\",\"rounds\":{},\"messages\":{},\"delivered\":{}}}",
+            self.graph,
+            self.n,
+            self.m,
+            self.eps,
+            self.backend,
+            self.phase,
+            self.rounds,
+            self.messages,
+            delivered
+        )
+    }
+}
+
+/// R4 — the (ε, D, T)-construction end to end, metered charge vs the
+/// `Executed` backend (every gather and cluster-graph round run as a real
+/// `NodeProgram`), written to `BENCH_edt.json` for the CI determinism diff
+/// and regression gate. The differential contract — identical partition,
+/// executed ≤ charged per phase — is asserted in-process, so a regression
+/// fails the report itself, not just the gate.
+fn edt_report() {
+    let families = mfd_bench::edt_acceptance_families();
+    let mut rows: Vec<EdtRow> = Vec::new();
+    for (name, g, eps) in &families {
+        let config = EdtConfig::new(*eps);
+        let (metered, charged) = build_edt(g, &config);
+        let (executed, spent) = build_edt_with(g, &config, &Executed::default());
+        assert!(
+            executed.is_valid(g),
+            "{name}: executed decomposition invalid"
+        );
+        assert_eq!(
+            metered.clustering, executed.clustering,
+            "{name}: backends disagree on the partition"
+        );
+        assert!(
+            spent.rounds() <= charged.rounds(),
+            "{name}: executed {} rounds exceed the metered charge {}",
+            spent.rounds(),
+            charged.rounds()
+        );
+        assert!(
+            executed.construction_rounds <= metered.construction_rounds,
+            "{name}: construction executed {} > charged {}",
+            executed.construction_rounds,
+            metered.construction_rounds
+        );
+        assert!(
+            executed.routing_rounds <= metered.routing_rounds,
+            "{name}: routing executed {} > charged {}",
+            executed.routing_rounds,
+            metered.routing_rounds
+        );
+        for (d, meter) in [(&metered, &charged), (&executed, &spent)] {
+            let routing_messages: u64 = meter
+                .phases()
+                .iter()
+                .filter(|p| p.name == "routing")
+                .map(|p| p.messages)
+                .sum();
+            rows.push(EdtRow {
+                graph: name.to_string(),
+                n: g.n(),
+                m: g.m(),
+                eps: *eps,
+                backend: d.backend,
+                phase: "construction",
+                rounds: d.construction_rounds,
+                messages: meter.messages() - routing_messages,
+                delivered: None,
+            });
+            rows.push(EdtRow {
+                graph: name.to_string(),
+                n: g.n(),
+                m: g.m(),
+                eps: *eps,
+                backend: d.backend,
+                phase: "routing",
+                rounds: d.routing_rounds,
+                messages: routing_messages,
+                delivered: Some(d.min_delivered_fraction),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "R4 — (ε, D, T)-construction: metered charge vs executed backend \
+         (identical partitions; executed ≤ charged per phase)",
+        &[
+            "graph",
+            "ε",
+            "backend",
+            "phase",
+            "rounds",
+            "messages",
+            "delivered",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.graph.clone(),
+            f3(r.eps),
+            r.backend.to_string(),
+            r.phase.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            r.delivered.map_or("-".to_string(), f3),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/edt/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(EdtRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_edt.json";
+    std::fs::write(path, json).expect("write BENCH_edt.json");
     println!("wrote {path} ({} series)", rows.len());
 }

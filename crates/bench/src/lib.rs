@@ -28,6 +28,36 @@ pub fn acceptance_leader(g: &Graph) -> usize {
     (0..g.n()).max_by_key(|&v| g.degree(v)).expect("non-empty")
 }
 
+/// The executed-decomposition acceptance set: the gather acceptance
+/// families zipped with the ε each `build_edt` claim is pinned at. One
+/// definition shared by the `edt` report section (hence the CI-gated
+/// `BENCH_edt.json` baselines) and the integration tests, so they can never
+/// drift onto different instances.
+pub fn edt_acceptance_families() -> Vec<(&'static str, Graph, f64)> {
+    let eps = [
+        ("tri-grid-8x8", 0.3),
+        ("wheel-64", 0.4),
+        ("hypercube-6", 0.3),
+    ];
+    let families = acceptance_families();
+    assert_eq!(
+        families.len(),
+        eps.len(),
+        "a new acceptance family needs an ε pin here"
+    );
+    families
+        .into_iter()
+        .zip(eps)
+        .map(|((name, g), (pinned, e))| {
+            assert_eq!(
+                name, pinned,
+                "acceptance families reordered under the ε pins"
+            );
+            (name, g, e)
+        })
+        .collect()
+}
+
 /// The walk-schedule planning parameters used on the acceptance families:
 /// tighter caps than the library defaults keep the leader-local seed search
 /// cheap; metered and executed share the resulting plan, so differentials

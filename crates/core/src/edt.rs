@@ -10,8 +10,8 @@
 //!
 //! 1. **Bottom-up merging** (Lemma 5.3): starting from singletons, repeatedly run the
 //!    heavy-stars algorithm on the cluster graph — the per-cluster information needed
-//!    by heavy-stars (the heaviest incident cluster) is obtained with a metered
-//!    in-cluster gather — and merge the surviving stars after dropping light links.
+//!    by heavy-stars (the heaviest incident cluster) is obtained with an in-cluster
+//!    gather — and merge the surviving stars after dropping light links.
 //!    Each iteration reduces the inter-cluster edge fraction by a constant factor.
 //! 2. **Leader refinement** (Lemmas 5.4/5.5): when cluster diameters exceed the
 //!    `O(1/ε)` target, every leader gathers its cluster topology, locally computes a
@@ -22,14 +22,44 @@
 //!    the routing algorithm `A` (BFS-tree pipeline, load balancing, or derandomized
 //!    walk schedule, per configuration) is executed once to measure `T`.
 //!
-//! All rounds are charged on the returned [`RoundMeter`]; the phases are recorded so
+//! # Backend selection: charged vs executed rounds
+//!
+//! Every round of the construction is obtained through an [`EdtBackend`] —
+//! the [`mfd_routing::backend::GatherBackend`] abstraction extended with the
+//! cluster-graph-round realization the merging phase needs:
+//!
+//! * [`Metered`] ([`build_edt`]'s default): in-cluster gathers charge the
+//!   paper's bounds via [`mfd_routing::gather::gather_to_leader`], and each
+//!   cluster-graph round of heavy-stars charges `2(D + 1)` rounds (word
+//!   down, boundary exchange, aggregate up). Centralized, cheap, and the
+//!   executed mode's oracle.
+//! * [`Executed`] ([`build_edt_with`]): every gather runs as a real
+//!   [`mfd_runtime::NodeProgram`] — strategy selection at the program level
+//!   via [`mfd_routing::programs::select_strategy_program`], batched across
+//!   clusters with [`mfd_runtime::run_on_clusters`] or run on the `mfd-sim`
+//!   event engine — and each cluster-graph round executes a
+//!   [`ClusterRoundProgram`] on the whole graph. No
+//!   [`RoundMeter::charge_rounds`] call remains on this path: rounds come
+//!   from the engines' meters, and (with `check_charge`, on by default)
+//!   every executed figure is asserted `≤` the metered charge, demoting the
+//!   charged path from product to cross-checked upper bound.
+//!
+//! Both backends produce the *same clustering* (the clustering decisions are
+//! deterministic and never depend on how rounds are accounted), so the modes
+//! are differentially comparable end to end; the integration tests pin
+//! partition equality, executed ≤ charged, and bit-identical executed runs
+//! across the synchronous executor and `Fixed(1)` simulation.
+//!
+//! All rounds land on the returned [`RoundMeter`]; the phases are recorded so
 //! the benchmark harness can report the construction-time/routing-time split of
 //! Table 1.
 
 use mfd_congest::RoundMeter;
 use mfd_graph::Graph;
-use mfd_routing::gather::{gather_to_leader, GatherReport, GatherStrategy};
+use mfd_routing::backend::{Executed, GatherBackend, GatherEngine, GatherJob, Metered};
+use mfd_routing::gather::GatherStrategy;
 
+use crate::cluster_round::ClusterRoundProgram;
 use crate::clustering::Clustering;
 use crate::heavy_stars::heavy_stars;
 use crate::ldd::chop_ldd;
@@ -93,6 +123,99 @@ impl EdtConfig {
     }
 }
 
+/// The metered charge for one cluster-graph round on clusters of diameter at
+/// most `max_diam`: the leader word floods down (≤ `D` rounds), crosses the
+/// boundary (1), and the foreign aggregate converges back (≤ `D + 1`) —
+/// exactly what [`ClusterRoundProgram`]'s `2E + 2 ≤ 2(D + 1)` schedule
+/// executes.
+pub fn cluster_round_charge(max_diam: u64) -> u64 {
+    2 * (max_diam + 1)
+}
+
+/// Inputs of one cluster-graph-round realization: the current clustering
+/// with a leader and an O(log n)-bit word per cluster, plus the diameter
+/// bound the metered charge is computed from.
+#[derive(Debug)]
+pub struct ClusterRoundSpec<'a> {
+    /// The current partition.
+    pub clustering: &'a Clustering,
+    /// Leader vertex per cluster.
+    pub leaders: &'a [usize],
+    /// The word each leader disseminates.
+    pub words: &'a [u64],
+    /// Maximum induced cluster diameter (the `D` of the charge).
+    pub max_diam: u64,
+}
+
+/// A gather backend that can also account the merging phase's cluster-graph
+/// rounds — everything [`build_edt_with`] needs to obtain rounds.
+pub trait EdtBackend: GatherBackend {
+    /// Accounts `cg_rounds` cluster-graph rounds (leader word down, boundary
+    /// exchange, aggregate up — see [`ClusterRoundProgram`]) on `meter`.
+    fn cluster_graph_rounds(
+        &self,
+        g: &Graph,
+        spec: &ClusterRoundSpec<'_>,
+        cg_rounds: u64,
+        meter: &mut RoundMeter,
+    );
+}
+
+impl EdtBackend for Metered {
+    fn cluster_graph_rounds(
+        &self,
+        _g: &Graph,
+        spec: &ClusterRoundSpec<'_>,
+        cg_rounds: u64,
+        meter: &mut RoundMeter,
+    ) {
+        meter.charge_rounds(cg_rounds * cluster_round_charge(spec.max_diam));
+    }
+}
+
+impl EdtBackend for Executed {
+    fn cluster_graph_rounds(
+        &self,
+        g: &Graph,
+        spec: &ClusterRoundSpec<'_>,
+        cg_rounds: u64,
+        meter: &mut RoundMeter,
+    ) {
+        if cg_rounds == 0 {
+            return;
+        }
+        let program = ClusterRoundProgram::new(g, spec.clustering, spec.leaders, spec.words);
+        let run_meter = match &self.engine {
+            GatherEngine::Executor(config) => {
+                mfd_runtime::Executor::new(config.clone())
+                    .run(g, &program)
+                    .expect("the cluster-round realization is model-compliant")
+                    .meter
+            }
+            GatherEngine::Sim(config) => {
+                mfd_sim::Simulator::new(config.clone())
+                    .run(g, &program)
+                    .expect("the cluster-round realization is model-compliant")
+                    .meter
+            }
+        };
+        if self.check_charge {
+            assert!(
+                run_meter.rounds() <= cluster_round_charge(spec.max_diam),
+                "cluster round executed {} rounds exceed the charge {}",
+                run_meter.rounds(),
+                cluster_round_charge(spec.max_diam)
+            );
+        }
+        // Every cluster-graph round runs the same dissemination pattern (only
+        // the flooded words differ, which the meter does not see), so one
+        // execution measures them all; its accounting is replayed per round.
+        for _ in 0..cg_rounds {
+            meter.merge_sequential(&run_meter);
+        }
+    }
+}
+
 /// The output of [`build_edt`].
 #[derive(Debug, Clone)]
 pub struct EdtDecomposition {
@@ -119,6 +242,8 @@ pub struct EdtDecomposition {
     pub routing_strategy: &'static str,
     /// Minimum per-cluster delivered fraction observed when running `A` once.
     pub min_delivered_fraction: f64,
+    /// Name of the backend the rounds came from (`"metered"` / `"executed"`).
+    pub backend: &'static str,
 }
 
 impl EdtDecomposition {
@@ -131,9 +256,9 @@ impl EdtDecomposition {
     }
 }
 
-/// Builds an (ε, D, T)-decomposition of `g` and returns it together with the meter
-/// holding the full round accounting (construction phases plus one execution of the
-/// routing algorithm).
+/// Builds an (ε, D, T)-decomposition of `g` with [`Metered`] round accounting
+/// and returns it together with the meter holding the full round accounting
+/// (construction phases plus one execution of the routing algorithm).
 ///
 /// # Example
 ///
@@ -148,6 +273,32 @@ impl EdtDecomposition {
 /// assert!(meter.rounds() >= d.routing_rounds);
 /// ```
 pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter) {
+    build_edt_with(g, config, &Metered)
+}
+
+/// Builds an (ε, D, T)-decomposition with an explicit [`EdtBackend`] — pass
+/// [`Metered`] for charged bounds or an [`Executed`] backend to run every
+/// gather and cluster-graph round as a real program on an engine.
+///
+/// # Example
+///
+/// ```
+/// use mfd_core::edt::{build_edt, build_edt_with, EdtConfig};
+/// use mfd_graph::generators;
+/// use mfd_routing::backend::Executed;
+///
+/// let g = generators::triangulated_grid(8, 8);
+/// let config = EdtConfig::new(0.3);
+/// let (metered, charged) = build_edt(&g, &config);
+/// let (executed, spent) = build_edt_with(&g, &config, &Executed::default());
+/// assert_eq!(metered.clustering, executed.clustering); // same decomposition
+/// assert!(spent.rounds() <= charged.rounds()); // executed within the charge
+/// ```
+pub fn build_edt_with<B: EdtBackend>(
+    g: &Graph,
+    config: &EdtConfig,
+    backend: &B,
+) -> (EdtDecomposition, RoundMeter) {
     let mut meter = RoundMeter::new();
     let eps = config.epsilon;
     let merge_target = eps / 2.0;
@@ -168,7 +319,7 @@ pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter
             iterations += 1;
             meter.start_phase("merge");
             let before = clustering.inter_cluster_edges(g);
-            clustering = merge_step(g, &clustering, fraction, config, &mut meter);
+            clustering = merge_step(g, &clustering, fraction, config, backend, &mut meter);
             let after = clustering.inter_cluster_edges(g);
             meter.end_phase();
             if after >= before {
@@ -182,7 +333,15 @@ pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter
                 let this_budget = refine_budget / 2.0;
                 refine_budget -= this_budget;
                 meter.start_phase("refine");
-                clustering = refine_step(g, &clustering, this_budget, d_target, config, &mut meter);
+                clustering = refine_step(
+                    g,
+                    &clustering,
+                    this_budget,
+                    d_target,
+                    config,
+                    backend,
+                    &mut meter,
+                );
                 meter.end_phase();
                 refinements += 1;
             }
@@ -193,7 +352,15 @@ pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter
         let max_diam = clustering.max_cluster_diameter(g).unwrap_or(usize::MAX);
         if max_diam > d_target && refine_budget > 0.0 {
             meter.start_phase("refine");
-            clustering = refine_step(g, &clustering, refine_budget, d_target, config, &mut meter);
+            clustering = refine_step(
+                g,
+                &clustering,
+                refine_budget,
+                d_target,
+                config,
+                backend,
+                &mut meter,
+            );
             meter.end_phase();
             refinements += 1;
         }
@@ -201,41 +368,38 @@ pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter
 
     let construction_rounds = meter.rounds();
 
-    // ---- Routing setup: leaders + one metered execution of the routing algorithm. ----
+    // ---- Routing setup: leaders + one execution of the routing algorithm. ----
     meter.start_phase("routing");
     let mut leaders = Vec::with_capacity(clustering.num_clusters());
-    let mut sub_meters: Vec<RoundMeter> = Vec::new();
-    let mut min_delivered: f64 = 1.0;
-    let mut strategy_name = "tree-pipeline";
+    let mut jobs: Vec<GatherJob> = Vec::new();
     for c in 0..clustering.num_clusters() {
-        let members = clustering.members(c).to_vec();
-        let leader_global = members
+        let members = clustering.members(c);
+        let leader = members
             .iter()
             .copied()
             .max_by_key(|&v| (g.degree(v), v))
             .expect("non-empty cluster");
-        leaders.push(leader_global);
-        if members.len() <= 1 {
-            continue;
+        leaders.push(leader);
+        if members.len() > 1 {
+            jobs.push(GatherJob {
+                members: members.to_vec(),
+                leader,
+            });
         }
-        let (sub, map) = g.induced_subgraph(&members);
-        let leader_local = map
-            .iter()
-            .position(|&v| v == leader_global)
-            .expect("leader belongs to its cluster");
-        let mut sm = RoundMeter::new();
-        let report = gather_to_leader(
-            &sub,
-            leader_local,
-            config.failure_fraction,
-            &config.routing_gather,
-            &mut sm,
-        );
+    }
+    let reports = backend.gather_all(
+        g,
+        &jobs,
+        config.failure_fraction,
+        &config.routing_gather,
+        &mut meter,
+    );
+    let mut min_delivered: f64 = 1.0;
+    let mut strategy_name = "tree-pipeline";
+    for report in &reports {
         strategy_name = report.strategy;
         min_delivered = min_delivered.min(report.delivered_fraction);
-        sub_meters.push(sm);
     }
-    meter.merge_parallel(sub_meters.iter());
     meter.end_phase();
     let routing_rounds = meter.rounds() - construction_rounds;
 
@@ -254,52 +418,69 @@ pub fn build_edt(g: &Graph, config: &EdtConfig) -> (EdtDecomposition, RoundMeter
             refinements,
             routing_strategy: strategy_name,
             min_delivered_fraction: min_delivered,
+            backend: backend.name(),
         },
         meter,
     )
 }
 
 /// One heavy-stars merge step (Lemma 5.3): gathers the per-cluster neighbour weights,
-/// runs heavy-stars on the cluster graph, drops light links and merges.
-fn merge_step(
+/// runs heavy-stars on the cluster graph, drops light links and merges. The gathers
+/// and the cluster-graph rounds all go through `backend`.
+fn merge_step<B: EdtBackend>(
     g: &Graph,
     clustering: &Clustering,
     fraction: f64,
     config: &EdtConfig,
+    backend: &B,
     meter: &mut RoundMeter,
 ) -> Clustering {
     let alpha = config.alpha.max(1) as f64;
     // Information gathering inside every non-singleton cluster so its leader can pick
-    // the heaviest incident cluster (step 1 of heavy-stars). Runs in parallel.
-    let mut sub_meters: Vec<RoundMeter> = Vec::new();
-    for c in 0..clustering.num_clusters() {
-        let members = clustering.members(c);
+    // the heaviest incident cluster (step 1 of heavy-stars). Runs in parallel. The
+    // same per-cluster leaders anchor the cluster-graph rounds below.
+    let mut jobs: Vec<GatherJob> = Vec::new();
+    let mut leaders: Vec<usize> = Vec::with_capacity(clustering.num_clusters());
+    for members in clustering.clusters() {
         if members.len() <= 1 {
+            leaders.push(members[0]);
             continue;
         }
-        let (sub, _) = g.induced_subgraph(members);
-        if sub.m() == 0 {
-            continue;
+        let (sub, map) = g.induced_subgraph(members);
+        let leader_local = (0..sub.n()).max_by_key(|&v| sub.degree(v)).unwrap_or(0);
+        let leader = map[leader_local];
+        leaders.push(leader);
+        if sub.m() > 0 {
+            jobs.push(GatherJob {
+                members: members.to_vec(),
+                leader,
+            });
         }
-        let leader = (0..sub.n()).max_by_key(|&v| sub.degree(v)).unwrap_or(0);
-        let mut sm = RoundMeter::new();
-        gather_to_leader(
-            &sub,
-            leader,
-            config.failure_fraction,
-            &config.construction_gather,
-            &mut sm,
-        );
-        sub_meters.push(sm);
     }
-    meter.merge_parallel(sub_meters.iter());
+    backend.gather_all(
+        g,
+        &jobs,
+        config.failure_fraction,
+        &config.construction_gather,
+        meter,
+    );
 
     let wg = clustering.cluster_graph(g);
     let hs = heavy_stars(&wg);
     let max_diam = clustering.max_cluster_diameter(g).unwrap_or(0) as u64;
-    // Cole–Vishkin + star formation run on the cluster graph: each cluster-graph round
-    // costs O(D + 1) real rounds.
-    meter.charge_rounds(hs.cluster_graph_rounds * (max_diam + 1));
+    // Cole–Vishkin + star formation run on the cluster graph; each cluster-graph
+    // round is realized (or charged) as one word-down / boundary-exchange /
+    // aggregate-up cycle over the current clusters. The `+ 1` is steps 3–4:
+    // disseminating and acknowledging the merge decisions below costs one
+    // more cluster-graph round.
+    let words: Vec<u64> = leaders.iter().map(|&l| l as u64).collect();
+    let spec = ClusterRoundSpec {
+        clustering,
+        leaders: &leaders,
+        words: &words,
+        max_diam,
+    };
+    backend.cluster_graph_rounds(g, &spec, hs.cluster_graph_rounds + 1, meter);
 
     // Light-link filtering (Lemma 5.3, step 3): a leaf joins its star center only if
     // the connection is heavier than (ε'/32α)·vol(S).
@@ -318,24 +499,24 @@ fn merge_step(
             }
         }
     }
-    // Steps 3–4 cost O(D + 1) rounds.
-    meter.charge_rounds(2 * (max_diam + 1));
     clustering.merge_groups(&group)
 }
 
 /// One refinement step (Lemmas 5.4/5.5): every over-diameter cluster leader gathers
 /// the cluster topology, computes a low-diameter decomposition locally with the given
-/// edge budget, and distributes the new assignment.
-fn refine_step(
+/// edge budget, and distributes the new assignment (the distribution rides the
+/// gather's echo phase, which both backends account).
+fn refine_step<B: EdtBackend>(
     g: &Graph,
     clustering: &Clustering,
     edge_budget: f64,
     d_target: usize,
     config: &EdtConfig,
+    backend: &B,
     meter: &mut RoundMeter,
 ) -> Clustering {
     let mut sub_label = vec![0usize; g.n()];
-    let mut sub_meters: Vec<RoundMeter> = Vec::new();
+    let mut jobs: Vec<GatherJob> = Vec::new();
     for c in 0..clustering.num_clusters() {
         let members = clustering.members(c).to_vec();
         if members.len() <= 1 {
@@ -347,25 +528,25 @@ fn refine_step(
             continue;
         }
         let (sub, map) = g.induced_subgraph(&members);
-        let leader = (0..sub.n()).max_by_key(|&v| sub.degree(v)).unwrap_or(0);
-        let mut sm = RoundMeter::new();
-        // Gather the topology to the leader, then (for free, locally) compute the
-        // refinement, then distribute one assignment word per vertex.
-        let report: GatherReport = gather_to_leader(
-            &sub,
-            leader,
-            config.failure_fraction,
-            &config.construction_gather,
-            &mut sm,
-        );
-        let _ = report;
+        let leader_local = (0..sub.n()).max_by_key(|&v| sub.degree(v)).unwrap_or(0);
+        // The leader-local refinement is free computation; only the gather
+        // (topology up, assignment back down) costs rounds.
         let local = chop_ldd(&sub, edge_budget.max(1e-6), config.chop_depth);
         for (i, &orig) in map.iter().enumerate() {
             sub_label[orig] = local.cluster_of(i) + 1;
         }
-        sub_meters.push(sm);
+        jobs.push(GatherJob {
+            members,
+            leader: map[leader_local],
+        });
     }
-    meter.merge_parallel(sub_meters.iter());
+    backend.gather_all(
+        g,
+        &jobs,
+        config.failure_fraction,
+        &config.construction_gather,
+        meter,
+    );
     clustering.refine(g, &sub_label).split_into_components(g)
 }
 
@@ -390,6 +571,7 @@ mod tests {
             assert_eq!(d.clustering.cluster_of(leader), c);
         }
         assert!(meter.rounds() >= d.construction_rounds + d.routing_rounds);
+        assert_eq!(d.backend, "metered");
         (d, meter)
     }
 
@@ -476,6 +658,54 @@ mod tests {
         // Rounds are dominated by the per-iteration cluster work, which scales with
         // the O(1/ε) cluster diameter, not with n; allow generous slack.
         assert!(dl.construction_rounds < 50 * ds.construction_rounds.max(1));
+    }
+
+    #[test]
+    fn executed_backend_reproduces_the_metered_partition_within_the_charge() {
+        for (g, eps) in [
+            (generators::triangulated_grid(8, 8), 0.3),
+            (generators::wheel(64), 0.4),
+            (generators::hypercube(6), 0.3),
+        ] {
+            let config = EdtConfig::new(eps);
+            let (metered, charged) = build_edt(&g, &config);
+            let (executed, spent) = build_edt_with(&g, &config, &Executed::default());
+            assert_eq!(executed.backend, "executed");
+            assert!(executed.is_valid(&g));
+            assert_eq!(metered.clustering, executed.clustering);
+            assert_eq!(metered.leaders, executed.leaders);
+            assert_eq!(metered.iterations, executed.iterations);
+            assert_eq!(metered.refinements, executed.refinements);
+            assert!(
+                spent.rounds() <= charged.rounds(),
+                "executed {} rounds exceed the metered {} (n={})",
+                spent.rounds(),
+                charged.rounds(),
+                g.n()
+            );
+            assert!(
+                executed.construction_rounds <= metered.construction_rounds,
+                "construction: executed {} > metered {}",
+                executed.construction_rounds,
+                metered.construction_rounds
+            );
+            assert!(executed.routing_rounds <= metered.routing_rounds);
+        }
+    }
+
+    #[test]
+    fn executed_backend_runs_identically_on_both_engines() {
+        let g = generators::triangulated_grid(8, 8);
+        let config = EdtConfig::new(0.3);
+        let (a, ma) = build_edt_with(&g, &config, &Executed::default());
+        let (b, mb) = build_edt_with(&g, &config, &Executed::sim(mfd_sim::SimConfig::default()));
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.leaders, b.leaders);
+        assert_eq!(ma.rounds(), mb.rounds());
+        assert_eq!(ma.messages(), mb.messages());
+        assert_eq!(a.routing_rounds, b.routing_rounds);
+        assert_eq!(a.construction_rounds, b.construction_rounds);
+        assert_eq!(a.min_delivered_fraction, b.min_delivered_fraction);
     }
 
     use mfd_graph::Graph;

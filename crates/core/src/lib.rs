@@ -43,6 +43,7 @@
 //! assert!(meter.rounds() > 0);
 //! ```
 
+pub mod cluster_round;
 pub mod clustering;
 pub mod cole_vishkin;
 pub mod edt;
@@ -53,8 +54,9 @@ pub mod ldd;
 pub mod overlap;
 pub mod programs;
 
+pub use cluster_round::{ClusterRoundProgram, ClusterRoundState};
 pub use clustering::Clustering;
-pub use edt::{build_edt, EdtConfig, EdtDecomposition};
+pub use edt::{build_edt, build_edt_with, EdtBackend, EdtConfig, EdtDecomposition};
 pub use programs::{
     run_bfs, run_cole_vishkin, run_voronoi_ldd, BfsProgram, ColeVishkinProgram, VoronoiLddProgram,
 };

@@ -7,9 +7,13 @@
 //! * Every vertex broadcasts a heartbeat every round carrying its current
 //!   **belief**, an `(epoch, candidate)` pair packed into one CONGEST word.
 //!   All beliefs start at `(0, initial_leader)`.
-//! * Because everyone heartbeats every round, silence is a verdict: once the
-//!   engine's failure detector excuses a crashed neighbor, its next missing
-//!   heartbeat exposes the crash to every surviving neighbor.
+//! * Because everyone heartbeats every round, silence is a verdict — but a
+//!   *tuned* one: a neighbor is declared dead only after
+//!   [`ReElectionProgram::missed_threshold`] **consecutive** missing
+//!   heartbeats (default 3). One missing heartbeat reads as loss, `k` in a
+//!   row as a crash; under message-loss rate `p` a false verdict needs `p^k`
+//!   per edge per window, which is what lets the crash experiments compose
+//!   with the loss models instead of assuming reliable links.
 //! * A vertex that detects the death of its *believed leader* opens a new
 //!   epoch: belief becomes `(epoch + 1, own id)`. Beliefs merge by
 //!   lexicographic maximum, and any vertex holding a bumped epoch enrolls
@@ -22,11 +26,10 @@
 //!   slack) and halts; the run is wedge-free by construction since every
 //!   vertex broadcasts unconditionally.
 //!
-//! The program assumes reliable links (heartbeat loss would read as a false
-//! crash verdict); the crash experiments therefore inject crashes only.
-//! Running it under message loss behind [`crate::Reliable`] would mask real
-//! crashes too — timeout-tuned failure detection under loss is exactly the
-//! follow-up the ROADMAP queues.
+//! With `missed_threshold = 1` the program degenerates to the original
+//! loss-intolerant detector; at the default of 3 it runs correctly under
+//! moderate loss (tested), at the price of `k − 1` extra rounds of
+//! detection latency folded into the horizon.
 
 use mfd_runtime::{Envelope, NodeCtx, NodeProgram, Outbox};
 
@@ -45,8 +48,11 @@ pub fn unpack(belief: u64) -> (u64, usize) {
 pub struct ElectionState {
     /// Current `(epoch, candidate)` belief, packed ([`unpack`]).
     pub belief: u64,
-    /// Neighbors this vertex has personally seen die (missing heartbeat).
+    /// Neighbors this vertex has personally seen die (k missed heartbeats).
     pub dead: Vec<usize>,
+    /// Consecutive missed heartbeats per neighbor (in `ctx.neighbors`
+    /// order); reset by any received heartbeat.
+    missed: Vec<u32>,
 }
 
 impl ElectionState {
@@ -68,18 +74,35 @@ pub struct ReElectionProgram {
     /// The epoch-0 leader everyone starts believing in.
     pub initial_leader: usize,
     /// Rounds to run before halting (cover crash round + detection delay +
-    /// surviving diameter, with slack).
+    /// missed-heartbeat window + surviving diameter, with slack).
     pub horizon: u64,
+    /// Consecutive missing heartbeats before a neighbor is declared dead
+    /// (≥ 1; the default 3 tolerates loss bursts of length 2).
+    pub missed_threshold: u32,
 }
 
+/// Default missed-heartbeat window: silence must persist for three rounds.
+pub const DEFAULT_MISSED_THRESHOLD: u32 = 3;
+
 impl ReElectionProgram {
-    /// Builds the protocol with a horizon derived from the cluster size:
-    /// `crash_round + n + 16` covers detection plus any flood.
+    /// Builds the protocol with the default detector and a horizon derived
+    /// from the cluster size: `crash_round + n + 16 + threshold` covers
+    /// detection plus any flood.
     pub fn new(initial_leader: usize, n: usize, crash_round: u64) -> Self {
         ReElectionProgram {
             initial_leader,
-            horizon: crash_round + n as u64 + 16,
+            horizon: crash_round + n as u64 + 16 + DEFAULT_MISSED_THRESHOLD as u64,
+            missed_threshold: DEFAULT_MISSED_THRESHOLD,
         }
+    }
+
+    /// Sets the missed-heartbeat threshold (clamped ≥ 1), adjusting the
+    /// horizon by the detection-latency difference.
+    pub fn with_missed_threshold(mut self, k: u32) -> Self {
+        let k = k.max(1);
+        self.horizon = (self.horizon + k as u64).saturating_sub(self.missed_threshold as u64);
+        self.missed_threshold = k;
+        self
     }
 }
 
@@ -87,10 +110,11 @@ impl NodeProgram for ReElectionProgram {
     type State = ElectionState;
     type Msg = u64;
 
-    fn init(&self, _ctx: &NodeCtx) -> ElectionState {
+    fn init(&self, ctx: &NodeCtx) -> ElectionState {
         ElectionState {
             belief: pack(0, self.initial_leader),
             dead: Vec::new(),
+            missed: vec![0; ctx.degree()],
         }
     }
 
@@ -113,11 +137,21 @@ impl NodeProgram for ReElectionProgram {
             state.belief = state.belief.max(proposal);
         }
 
-        // Silence detection: everyone alive broadcast last round, so from
-        // round 2 on a missing heartbeat is a crash verdict.
+        // Silence detection: everyone alive broadcasts every round, so from
+        // round 2 on a missing heartbeat counts against the sender — and
+        // `missed_threshold` *consecutive* misses are a crash verdict (a
+        // single miss reads as message loss, not death).
         if ctx.round >= 2 {
-            for &u in ctx.neighbors {
-                if !state.dead.contains(&u) && !inbox.iter().any(|env| env.src == u) {
+            for (i, &u) in ctx.neighbors.iter().enumerate() {
+                if state.dead.contains(&u) {
+                    continue;
+                }
+                if inbox.iter().any(|env| env.src == u) {
+                    state.missed[i] = 0;
+                    continue;
+                }
+                state.missed[i] += 1;
+                if state.missed[i] >= self.missed_threshold {
                     state.dead.push(u);
                     if state.candidate() == u {
                         state.belief = pack(state.epoch() + 1, ctx.id);
@@ -187,6 +221,47 @@ mod tests {
             assert!(s.epoch() >= 1, "vertex {v} never left epoch 0");
             assert_eq!(s.candidate(), 15, "vertex {v} disagrees");
         }
+    }
+
+    #[test]
+    fn election_composes_with_message_loss() {
+        // The point of the k-missed detector: crash the leader *and* lose 5%
+        // of all heartbeats. Single missing heartbeats are forgiven, the
+        // crashed leader's permanent silence is not, and the survivors still
+        // converge on the largest surviving id.
+        let g = generators::wheel(16);
+        let leader = 0;
+        let crash_round = 3;
+        let program = ReElectionProgram::new(leader, g.n(), crash_round);
+        assert_eq!(program.missed_threshold, 3);
+        let model = FaultModel::iid_loss(0.05)
+            .with_crash(leader, crash_round)
+            .with_detection_delay(2);
+        let run = Simulator::new(SimConfig::default())
+            .run_with_faults(&g, &program, &model)
+            .unwrap();
+        assert_eq!(run.outcome, FaultOutcome::Completed);
+        for v in run.survivors() {
+            let s = &run.run.states[v];
+            assert!(s.epoch() >= 1, "vertex {v} never left epoch 0");
+            assert_eq!(s.candidate(), 15, "vertex {v} disagrees");
+            // Nobody read a lost heartbeat as a death verdict.
+            assert_eq!(s.dead, vec![leader], "vertex {v} false-detected");
+        }
+    }
+
+    #[test]
+    fn a_unit_threshold_reproduces_the_loss_intolerant_detector() {
+        // Regression guard for the old semantics: with k = 1 a single
+        // missing heartbeat is an immediate verdict.
+        let g = generators::cycle(8);
+        let program = ReElectionProgram::new(7, g.n(), 4).with_missed_threshold(1);
+        let model = FaultModel::none().with_crash(2, 4);
+        let run = Simulator::new(SimConfig::default())
+            .run_with_faults(&g, &program, &model)
+            .unwrap();
+        assert!(run.run.states[1].dead.contains(&2));
+        assert!(run.run.states[3].dead.contains(&2));
     }
 
     #[test]

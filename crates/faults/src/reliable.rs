@@ -34,6 +34,18 @@
 //! impossible; the linger makes the residual wedge probability `p^linger`
 //! per edge, and determinism makes any given seed's outcome reproducible.
 //!
+//! **Peer-crash cutoff.** A live peer frames every physical round, so total
+//! silence is a verdict the transport can act on: a neighbor that has sent
+//! nothing for `peer_cutoff` rounds while its edge is still unsettled is
+//! presumed crash-stopped and *excused* — retransmissions to it cease (the
+//! adapter used to retransmit to a dead peer forever), its round boundary is
+//! waived from the inbox gate, and the close handshake no longer waits for
+//! its acks or fin. Under pure loss a false verdict needs `peer_cutoff`
+//! consecutive frame losses (probability `p^cutoff` per edge — negligible at
+//! the default of 24), so loss recovery is unaffected while crash
+//! experiments can finally run *through* the adapter: losses are repaired,
+//! crashes surface to the inner program as the permanent silence they are.
+//!
 //! Overhead is measured, not hidden: [`Reliable::stats`] aggregates frames,
 //! fresh vs. retransmitted payload and ack-only pulses from the final
 //! states, reported next to the engines' usual `RoundMeter` accounting.
@@ -102,6 +114,11 @@ struct EdgeRx<M> {
     peer_cum: u64,
     /// Peer announced its boundary as final.
     peer_fin: bool,
+    /// Last physical round a frame arrived from the peer (0 = never).
+    last_heard: u64,
+    /// Peer presumed crash-stopped (the silence cutoff fired): excused from
+    /// the gate and the close handshake, no longer framed.
+    dead: bool,
 }
 
 /// State of one vertex of [`Reliable<P>`]: the wrapped program's state plus
@@ -129,6 +146,8 @@ pub struct ReliableState<P: NodeProgram> {
     pub retransmitted: u64,
     /// Messages handed to the inner program.
     pub delivered_inner: u64,
+    /// Neighbors this vertex excused as crash-stopped (silence cutoff).
+    pub peers_excused: u64,
 }
 
 /// Aggregated transport statistics of a completed [`Reliable<P>`] run.
@@ -147,6 +166,8 @@ pub struct ReliableStats {
     pub retransmitted: u64,
     /// Messages delivered to inner programs.
     pub delivered_inner: u64,
+    /// Peer-crash excusals issued (one per vertex per silent dead neighbor).
+    pub excused: u64,
 }
 
 impl ReliableStats {
@@ -175,6 +196,7 @@ pub struct Reliable<P> {
     linger: u64,
     max_frame_words: usize,
     budget: Option<u64>,
+    peer_cutoff: u64,
 }
 
 /// Inner rounds an isolated (or fully caught-up) vertex may run per physical
@@ -185,8 +207,8 @@ const CATCHUP_ROUNDS: u64 = 64;
 const BUDGET_FACTOR: u64 = 8;
 
 impl<P: NodeProgram> Reliable<P> {
-    /// Wraps `inner` with the default transport (timeout 4, linger 8, one
-    /// payload word per frame).
+    /// Wraps `inner` with the default transport (timeout 4, linger 8, peer
+    /// cutoff 24, one payload word per frame).
     pub fn new(inner: P) -> Self {
         Reliable {
             inner,
@@ -194,12 +216,23 @@ impl<P: NodeProgram> Reliable<P> {
             linger: 8,
             max_frame_words: 1,
             budget: None,
+            peer_cutoff: 24,
         }
     }
 
     /// Sets the retransmission timeout, in physical rounds (clamped ≥ 1).
     pub fn with_timeout(mut self, timeout: u64) -> Self {
         self.timeout = timeout.max(1);
+        self
+    }
+
+    /// Sets the peer-crash cutoff: physical rounds of total silence on an
+    /// unsettled edge after which the peer is presumed crash-stopped
+    /// (clamped ≥ 2; a false verdict under loss `p` has probability
+    /// `p^cutoff` per edge, so larger values trade detection latency for
+    /// robustness at extreme loss rates).
+    pub fn with_peer_cutoff(mut self, cutoff: u64) -> Self {
+        self.peer_cutoff = cutoff.max(2);
         self
     }
 
@@ -242,6 +275,7 @@ impl<P: NodeProgram> Reliable<P> {
             out.fresh += s.fresh_sent;
             out.retransmitted += s.retransmitted;
             out.delivered_inner += s.delivered_inner;
+            out.excused += s.peers_excused;
         }
         out.ack_frames = out.frames - out.payload_frames;
         out
@@ -256,12 +290,13 @@ impl<P: NodeProgram> Reliable<P> {
 
     /// Whether inner round `k` may run: for every neighbor, its announced
     /// boundary covers round `k - 1` (or is final) and all traffic through
-    /// that boundary has been received.
+    /// that boundary has been received. Excused (presumed-crashed) peers are
+    /// waived — the inner program sees from them exactly the permanent
+    /// silence a real crash produces.
     fn gate(state: &ReliableState<P>, k: u64) -> bool {
-        state
-            .rx
-            .iter()
-            .all(|rx| (rx.peer_fin || rx.peer_round >= k - 1) && rx.prefix >= rx.peer_cum)
+        state.rx.iter().all(|rx| {
+            rx.dead || ((rx.peer_fin || rx.peer_round >= k - 1) && rx.prefix >= rx.peer_cum)
+        })
     }
 }
 
@@ -293,6 +328,8 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                     peer_round: 0,
                     peer_cum: 0,
                     peer_fin: false,
+                    last_heard: 0,
+                    dead: false,
                 })
                 .collect(),
             close_at: None,
@@ -304,6 +341,7 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
             fresh_sent: 0,
             retransmitted: 0,
             delivered_inner: 0,
+            peers_excused: 0,
         }
     }
 
@@ -327,6 +365,7 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                 state.tx[i].last_progress = r;
             }
             let rx = &mut state.rx[i];
+            rx.last_heard = r;
             rx.peer_round = rx.peer_round.max(frame.boundary_round);
             rx.peer_cum = rx.peer_cum.max(frame.boundary_cum);
             rx.peer_fin |= frame.fin;
@@ -338,6 +377,22 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                 while rx.pending.contains_key(&rx.prefix) {
                     rx.prefix += 1;
                 }
+            }
+        }
+
+        // 1b. Peer-crash cutoff: a live peer frames every round, so total
+        //     silence for `peer_cutoff` rounds on an edge that is not
+        //     settled (fin seen, boundary received, everything acked — then
+        //     silence is a normal close) is a crash verdict. The peer is
+        //     excused: no more frames, no more waiting.
+        for i in 0..ctx.degree() {
+            let rx = &state.rx[i];
+            let tx = &state.tx[i];
+            let settled =
+                rx.peer_fin && rx.prefix >= rx.peer_cum && tx.acked == tx.sent.len() as u64;
+            if !rx.dead && !settled && r.saturating_sub(rx.last_heard) >= self.peer_cutoff {
+                state.rx[i].dead = true;
+                state.peers_excused += 1;
             }
         }
 
@@ -400,14 +455,19 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
 
         // 3. Closing: once the inner program has halted, everything sent is
         //    acked and every neighbor's final boundary is fully received,
-        //    linger (pure ack frames keep flowing) and then halt.
+        //    linger (pure ack frames keep flowing) and then halt. Excused
+        //    peers can neither ack nor announce — they are waived.
         if state.close_at.is_none()
             && state.inner_halted
-            && state.tx.iter().all(|t| t.acked == t.sent.len() as u64)
+            && state
+                .tx
+                .iter()
+                .zip(&state.rx)
+                .all(|(t, x)| x.dead || t.acked == t.sent.len() as u64)
             && state
                 .rx
                 .iter()
-                .all(|x| x.peer_fin && x.prefix >= x.peer_cum)
+                .all(|x| x.dead || (x.peer_fin && x.prefix >= x.peer_cum))
         {
             state.close_at = Some(r + self.linger);
         }
@@ -415,8 +475,12 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
 
         // 4. Emit one frame per edge: retransmissions first (they unblock
         //    the receiver), then fresh payload, within the per-frame word
-        //    budget; metadata rides every frame regardless.
+        //    budget; metadata rides every frame regardless. Excused peers
+        //    get nothing — the retransmission leak this cutoff closes.
         for (i, &u) in ctx.neighbors.iter().enumerate() {
+            if state.rx[i].dead {
+                continue;
+            }
             let mut payload: Vec<(u64, u64, P::Msg)> = Vec::new();
             let mut words = 0usize;
             let mut retransmitted = 0u64;
@@ -486,7 +550,7 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
         self.budget.or_else(|| {
             self.inner
                 .round_budget_hint()
-                .map(|h| h.saturating_mul(BUDGET_FACTOR) + self.linger + 512)
+                .map(|h| h.saturating_mul(BUDGET_FACTOR) + self.linger + self.peer_cutoff + 512)
         })
     }
 }
@@ -651,6 +715,50 @@ mod tests {
             Reliable::<Chatter>::inner_states_cloned(&a.run.states),
             Reliable::<Chatter>::inner_states_cloned(&b.run.states)
         );
+    }
+
+    #[test]
+    fn dead_peers_are_excused_instead_of_retransmitted_forever() {
+        // Crash one rim vertex mid-run *and* lose 20% of the frames: the
+        // adapter must repair the losses, presume the silent peer dead after
+        // the cutoff, stop retransmitting to it, and still close — the crash
+        // experiments can finally run through the adapter instead of raw.
+        let g = generators::wheel(12);
+        let crashed = 3usize;
+        let model = FaultModel::iid_loss(0.2)
+            .with_crash(crashed, 2)
+            .with_detection_delay(2);
+        let sim = Simulator::new(SimConfig::default());
+        let run = sim
+            .run_with_faults(&g, &Reliable::new(Chatter).with_peer_cutoff(12), &model)
+            .unwrap();
+        assert_eq!(run.outcome, FaultOutcome::Completed);
+        assert!(run.crashed[crashed]);
+        let stats = Reliable::<Chatter>::stats(&run.run.states);
+        // Both neighbors of the crashed vertex (hub + two rim neighbors)
+        // issued an excusal; nobody else fell silent for a whole cutoff.
+        assert_eq!(stats.excused, 3);
+        // And the verdict is reproducible bit-for-bit.
+        let again = sim
+            .run_with_faults(&g, &Reliable::new(Chatter).with_peer_cutoff(12), &model)
+            .unwrap();
+        assert_eq!(
+            Reliable::<Chatter>::stats(&again.run.states).excused,
+            stats.excused
+        );
+        assert_eq!(
+            Reliable::<Chatter>::inner_states_cloned(&again.run.states),
+            Reliable::<Chatter>::inner_states_cloned(&run.run.states)
+        );
+    }
+
+    #[test]
+    fn loss_free_runs_never_excuse_anyone() {
+        let g = generators::triangulated_grid(4, 4);
+        let run = Simulator::new(SimConfig::default())
+            .run(&g, &Reliable::new(Chatter))
+            .unwrap();
+        assert_eq!(Reliable::<Chatter>::stats(&run.states).excused, 0);
     }
 
     #[test]

@@ -58,14 +58,17 @@
 //!   clusters (Lemma 2.6). On low-degree-leader clusters its good fraction
 //!   collapses and [`gather::gather_to_leader`] falls back to the tree.
 
+pub mod backend;
 pub mod gather;
 pub mod load_balance;
 pub mod programs;
 pub mod split;
 pub mod walks;
 
+pub use backend::{Executed, GatherBackend, GatherEngine, GatherJob, Metered};
 pub use gather::{GatherReport, GatherStrategy};
 pub use programs::{
-    ExecutedGather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
+    ExecutedGather, GatherProgram, LoadBalanceProgram, SelectedGather, TreeGatherProgram,
+    WalkScheduleProgram,
 };
 pub use split::ExpanderSplit;

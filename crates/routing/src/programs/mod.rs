@@ -47,17 +47,22 @@
 //!   regression gate pins both.
 
 use mfd_graph::{properties, Graph};
-use mfd_runtime::{Execution, Executor, ExecutorConfig, NodeProgram, RuntimeError};
+use mfd_runtime::{
+    Envelope, Execution, Executor, ExecutorConfig, NodeCtx, NodeProgram, Outbox, RuntimeError,
+    RuntimeMessage,
+};
 
+use crate::gather::GatherStrategy;
 use crate::load_balance::{LoadBalanceParams, LoadBalancePlan};
+use crate::walks::plan_walk_schedule;
 
 mod load_balance;
 mod tree;
 mod walks;
 
-pub use load_balance::{LoadBalanceProgram, LoadBalanceState};
-pub use tree::{TreeGatherProgram, TreeGatherState};
-pub use walks::{WalkScheduleProgram, WalkScheduleState};
+pub use load_balance::{LbMsg, LoadBalanceProgram, LoadBalanceState};
+pub use tree::{TreeGatherProgram, TreeGatherState, TreeMsg};
+pub use walks::{WalkMsg, WalkScheduleProgram, WalkScheduleState};
 
 /// Outcome of one executed gather, in the vocabulary of
 /// [`crate::gather::GatherReport`] so the two modes compare directly.
@@ -75,6 +80,21 @@ pub struct ExecutedGather {
     pub total_messages: usize,
     /// Strategy name (matches the metered report's).
     pub strategy: &'static str,
+}
+
+impl From<ExecutedGather> for crate::gather::GatherReport {
+    /// Repackages an executed run in the metered report vocabulary (the
+    /// engine-only `messages` count has no metered counterpart and is
+    /// dropped; it lives on the meters).
+    fn from(executed: ExecutedGather) -> Self {
+        crate::gather::GatherReport {
+            rounds: executed.rounds,
+            delivered_fraction: executed.delivered_fraction,
+            per_vertex_delivered: executed.per_vertex_delivered,
+            total_messages: executed.total_messages,
+            strategy: executed.strategy,
+        }
+    }
 }
 
 /// Common reporting surface of the three gather programs.
@@ -163,7 +183,14 @@ pub(crate) fn assert_plan_matches(cluster: &Graph, split: &crate::split::Expande
 /// ≈ 0.093, hypercube-6 ≈ 0.31).
 pub const TREE_ROUTE_PHI: f64 = 0.08;
 
-/// An executed gather program chosen by [`select_gather_program`].
+/// An executed gather program chosen by [`select_gather_program`] or
+/// [`select_strategy_program`].
+///
+/// `SelectedGather` is itself a [`NodeProgram`] (state and message enums
+/// dispatch to the chosen program), so a *heterogeneous* set of clusters —
+/// each routed to whichever strategy fits it — can run under one program
+/// type, e.g. through [`mfd_runtime::run_on_clusters`]. This is what lets
+/// the decomposition layer swap metered gathers for executed ones wholesale.
 #[derive(Debug, Clone)]
 pub enum SelectedGather {
     /// The tree pipeline: always delivers everything; the right call on
@@ -171,17 +198,246 @@ pub enum SelectedGather {
     Tree(TreeGatherProgram),
     /// The Lemma 2.2 token balancer (boxed: it carries its whole plan).
     LoadBalance(Box<LoadBalanceProgram>),
+    /// The Lemma 2.5 walk schedule (boxed: it carries its path table).
+    Walk(Box<WalkScheduleProgram>),
+    /// The tree pipeline standing in for a walk schedule whose plan missed
+    /// the failure budget (the cluster is not expander enough — planning is
+    /// free leader-local work, so the selection can tell up front).
+    WalkFallbackTree(TreeGatherProgram),
 }
 
-impl SelectedGather {
-    /// Strategy name of the chosen program.
-    pub fn strategy_name(&self) -> &'static str {
+/// Message vocabulary of [`SelectedGather`]: the chosen program's messages,
+/// wrapped. All vertices of a cluster run the same selection, so the variant
+/// is uniform within a run; word counts delegate to the payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectedMsg {
+    /// A [`TreeGatherProgram`] message.
+    Tree(TreeMsg),
+    /// A [`LoadBalanceProgram`] message.
+    LoadBalance(LbMsg),
+    /// A [`WalkScheduleProgram`] message.
+    Walk(WalkMsg),
+}
+
+impl RuntimeMessage for SelectedMsg {
+    fn words(&self) -> usize {
         match self {
-            SelectedGather::Tree(p) => p.strategy_name(),
-            SelectedGather::LoadBalance(p) => p.strategy_name(),
+            SelectedMsg::Tree(m) => m.words(),
+            SelectedMsg::LoadBalance(m) => m.words(),
+            SelectedMsg::Walk(m) => m.words(),
+        }
+    }
+}
+
+/// Per-vertex state of [`SelectedGather`]: the chosen program's state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectedState {
+    /// State of a [`TreeGatherProgram`] vertex.
+    Tree(TreeGatherState),
+    /// State of a [`LoadBalanceProgram`] vertex.
+    LoadBalance(LoadBalanceState),
+    /// State of a [`WalkScheduleProgram`] vertex.
+    Walk(WalkScheduleState),
+}
+
+/// Drives one inner round through the adapter surface ([`Outbox::new`] /
+/// [`Outbox::into_sends`] / [`Outbox::violation`]) and re-wraps the sends.
+/// On an inner model violation the illegal destination is replayed on the
+/// outer outbox so the engine aborts with the same verdict.
+fn dispatch_round<P: NodeProgram>(
+    program: &P,
+    ctx: &NodeCtx,
+    state: &mut P::State,
+    inbox: Vec<Envelope<P::Msg>>,
+    out: &mut Outbox<'_, SelectedMsg>,
+    wrap: impl Fn(P::Msg) -> SelectedMsg,
+    replay: SelectedMsg,
+) {
+    let mut inner: Outbox<'_, P::Msg> = Outbox::new(ctx.id, ctx.neighbors);
+    program.round(ctx, state, &inbox, &mut inner);
+    if let Some(mfd_congest::CongestError::NotAnEdge { dst, .. }) = inner.violation() {
+        out.send(*dst, replay);
+        return;
+    }
+    for (dst, msg, _words) in inner.into_sends() {
+        out.send(dst, wrap(msg));
+    }
+}
+
+impl NodeProgram for SelectedGather {
+    type State = SelectedState;
+    type Msg = SelectedMsg;
+
+    fn init(&self, ctx: &NodeCtx) -> SelectedState {
+        match self {
+            SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p) => {
+                SelectedState::Tree(p.init(ctx))
+            }
+            SelectedGather::LoadBalance(p) => SelectedState::LoadBalance(p.init(ctx)),
+            SelectedGather::Walk(p) => SelectedState::Walk(p.init(ctx)),
         }
     }
 
+    fn round(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut SelectedState,
+        inbox: &[Envelope<SelectedMsg>],
+        out: &mut Outbox<'_, SelectedMsg>,
+    ) {
+        // Mismatched envelopes cannot arise (every vertex runs the same
+        // selection); they are dropped rather than trusted, in line with the
+        // gather programs' own degrade-don't-panic inbox handling.
+        match (self, state) {
+            (
+                SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p),
+                SelectedState::Tree(s),
+            ) => {
+                let inbox: Vec<Envelope<TreeMsg>> = inbox
+                    .iter()
+                    .filter_map(|e| match e.msg {
+                        SelectedMsg::Tree(m) => Some(Envelope { src: e.src, msg: m }),
+                        _ => None,
+                    })
+                    .collect();
+                dispatch_round(
+                    p,
+                    ctx,
+                    s,
+                    inbox,
+                    out,
+                    SelectedMsg::Tree,
+                    SelectedMsg::Tree(TreeMsg::Done),
+                );
+            }
+            (SelectedGather::LoadBalance(p), SelectedState::LoadBalance(s)) => {
+                let inbox: Vec<Envelope<LbMsg>> = inbox
+                    .iter()
+                    .filter_map(|e| match e.msg {
+                        SelectedMsg::LoadBalance(m) => Some(Envelope { src: e.src, msg: m }),
+                        _ => None,
+                    })
+                    .collect();
+                dispatch_round(
+                    p.as_ref(),
+                    ctx,
+                    s,
+                    inbox,
+                    out,
+                    SelectedMsg::LoadBalance,
+                    SelectedMsg::LoadBalance(LbMsg::Stop),
+                );
+            }
+            (SelectedGather::Walk(p), SelectedState::Walk(s)) => {
+                let inbox: Vec<Envelope<WalkMsg>> = inbox
+                    .iter()
+                    .filter_map(|e| match e.msg {
+                        SelectedMsg::Walk(m) => Some(Envelope { src: e.src, msg: m }),
+                        _ => None,
+                    })
+                    .collect();
+                dispatch_round(
+                    p.as_ref(),
+                    ctx,
+                    s,
+                    inbox,
+                    out,
+                    SelectedMsg::Walk,
+                    SelectedMsg::Walk(WalkMsg::Stop),
+                );
+            }
+            _ => unreachable!("selection state matches the selected program"),
+        }
+    }
+
+    fn halted(&self, ctx: &NodeCtx, state: &SelectedState) -> bool {
+        match (self, state) {
+            (
+                SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p),
+                SelectedState::Tree(s),
+            ) => p.halted(ctx, s),
+            (SelectedGather::LoadBalance(p), SelectedState::LoadBalance(s)) => p.halted(ctx, s),
+            (SelectedGather::Walk(p), SelectedState::Walk(s)) => p.halted(ctx, s),
+            _ => unreachable!("selection state matches the selected program"),
+        }
+    }
+
+    fn round_budget_hint(&self) -> Option<u64> {
+        match self {
+            SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p) => p.round_budget_hint(),
+            SelectedGather::LoadBalance(p) => p.round_budget_hint(),
+            SelectedGather::Walk(p) => p.round_budget_hint(),
+        }
+    }
+
+    fn quiescent(&self, ctx: &NodeCtx, state: &SelectedState) -> bool {
+        match (self, state) {
+            (
+                SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p),
+                SelectedState::Tree(s),
+            ) => p.quiescent(ctx, s),
+            (SelectedGather::LoadBalance(p), SelectedState::LoadBalance(s)) => p.quiescent(ctx, s),
+            (SelectedGather::Walk(p), SelectedState::Walk(s)) => p.quiescent(ctx, s),
+            _ => unreachable!("selection state matches the selected program"),
+        }
+    }
+}
+
+impl GatherProgram for SelectedGather {
+    fn strategy_name(&self) -> &'static str {
+        match self {
+            SelectedGather::Tree(p) => p.strategy_name(),
+            SelectedGather::LoadBalance(p) => p.strategy_name(),
+            SelectedGather::Walk(p) => p.strategy_name(),
+            SelectedGather::WalkFallbackTree(_) => "walk-schedule(tree-fallback)",
+        }
+    }
+
+    fn total_messages(&self) -> usize {
+        match self {
+            SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p) => p.total_messages(),
+            SelectedGather::LoadBalance(p) => p.total_messages(),
+            SelectedGather::Walk(p) => p.total_messages(),
+        }
+    }
+
+    fn per_vertex_delivered(&self, states: &[SelectedState]) -> Vec<usize> {
+        match self {
+            SelectedGather::Tree(p) | SelectedGather::WalkFallbackTree(p) => {
+                let inner: Vec<TreeGatherState> = states
+                    .iter()
+                    .map(|s| match s {
+                        SelectedState::Tree(t) => t.clone(),
+                        _ => unreachable!("selection state matches the selected program"),
+                    })
+                    .collect();
+                p.per_vertex_delivered(&inner)
+            }
+            SelectedGather::LoadBalance(p) => {
+                let inner: Vec<LoadBalanceState> = states
+                    .iter()
+                    .map(|s| match s {
+                        SelectedState::LoadBalance(t) => t.clone(),
+                        _ => unreachable!("selection state matches the selected program"),
+                    })
+                    .collect();
+                p.per_vertex_delivered(&inner)
+            }
+            SelectedGather::Walk(p) => {
+                let inner: Vec<WalkScheduleState> = states
+                    .iter()
+                    .map(|s| match s {
+                        SelectedState::Walk(t) => t.clone(),
+                        _ => unreachable!("selection state matches the selected program"),
+                    })
+                    .collect();
+                p.per_vertex_delivered(&inner)
+            }
+        }
+    }
+}
+
+impl SelectedGather {
     /// Runs the chosen program on the synchronous executor and reports it.
     ///
     /// # Errors
@@ -192,12 +448,7 @@ impl SelectedGather {
         cluster: &Graph,
         config: &ExecutorConfig,
     ) -> Result<ExecutedGather, RuntimeError> {
-        match self {
-            SelectedGather::Tree(p) => execute_gather(cluster, p, config).map(|(r, _)| r),
-            SelectedGather::LoadBalance(p) => {
-                execute_gather(cluster, p.as_ref(), config).map(|(r, _)| r)
-            }
-        }
+        execute_gather(cluster, self, config).map(|(r, _)| r)
     }
 }
 
@@ -226,13 +477,109 @@ pub fn select_gather_program(
     f: f64,
     params: &LoadBalanceParams,
 ) -> SelectedGather {
+    select_for_load_balance(cluster, leader, f, params).0
+}
+
+/// The balancer-vs-tree routing behind [`select_gather_program`], keeping
+/// the plan it computed for callers that also need the metered oracle.
+fn select_for_load_balance(
+    cluster: &Graph,
+    leader: usize,
+    f: f64,
+    params: &LoadBalanceParams,
+) -> (SelectedGather, Option<LoadBalancePlan>) {
     assert!(leader < cluster.n().max(1), "leader out of range");
     let hub_degree = cluster.degree(leader).pow(2) > cluster.n();
     if !hub_degree && conductance_estimate(cluster) < TREE_ROUTE_PHI {
-        SelectedGather::Tree(TreeGatherProgram::new(cluster, leader))
+        (
+            SelectedGather::Tree(TreeGatherProgram::new(cluster, leader)),
+            None,
+        )
     } else {
         let plan = LoadBalancePlan::new(cluster, params);
-        SelectedGather::LoadBalance(Box::new(LoadBalanceProgram::new(cluster, leader, f, &plan)))
+        let program = LoadBalanceProgram::new(cluster, leader, f, &plan);
+        (SelectedGather::LoadBalance(Box::new(program)), Some(plan))
+    }
+}
+
+/// The plans a selection computed along the way — [`LoadBalancePlan`] /
+/// [`crate::walks::WalkPlan`] are deterministic but not free (spectral
+/// estimates, walk seed search), so callers that also run the metered
+/// oracle on the same cluster (the `Executed` backend's charge check) reuse
+/// them instead of replanning.
+#[derive(Debug, Default)]
+pub struct SelectionPlans {
+    /// The balancer plan, present exactly when the balancer was selected.
+    pub load_balance: Option<LoadBalancePlan>,
+    /// The walk plan, present exactly when the walk schedule was selected.
+    pub walk: Option<crate::walks::WalkPlan>,
+}
+
+/// Program-level counterpart of [`crate::gather::gather_to_leader`]: picks
+/// the executed program realizing `strategy` on this cluster, including
+/// every fallback the metered path applies —
+///
+/// * [`GatherStrategy::TreePipeline`] → [`TreeGatherProgram`];
+/// * [`GatherStrategy::LoadBalance`] → [`select_gather_program`]'s
+///   conductance/leader-degree routing between the balancer and the tree;
+/// * [`GatherStrategy::WalkSchedule`] → [`WalkScheduleProgram`] when the
+///   plan meets the failure budget, the tree pipeline otherwise (the same
+///   free leader-local planning verdict the metered path falls back on).
+///
+/// # Panics
+///
+/// Panics if `leader` is out of range.
+pub fn select_strategy_program(
+    cluster: &Graph,
+    leader: usize,
+    f: f64,
+    strategy: &GatherStrategy,
+) -> SelectedGather {
+    select_strategy_program_with_plans(cluster, leader, f, strategy).0
+}
+
+/// [`select_strategy_program`] plus the plans the selection computed
+/// ([`SelectionPlans`]).
+pub fn select_strategy_program_with_plans(
+    cluster: &Graph,
+    leader: usize,
+    f: f64,
+    strategy: &GatherStrategy,
+) -> (SelectedGather, SelectionPlans) {
+    assert!(leader < cluster.n().max(1), "leader out of range");
+    match strategy {
+        GatherStrategy::TreePipeline => (
+            SelectedGather::Tree(TreeGatherProgram::new(cluster, leader)),
+            SelectionPlans::default(),
+        ),
+        GatherStrategy::LoadBalance(params) => {
+            let (selected, plan) = select_for_load_balance(cluster, leader, f, params);
+            (
+                selected,
+                SelectionPlans {
+                    load_balance: plan,
+                    walk: None,
+                },
+            )
+        }
+        GatherStrategy::WalkSchedule(params) => {
+            let plan = plan_walk_schedule(cluster, leader, f, params);
+            if plan.good_fraction < 1.0 - f {
+                (
+                    SelectedGather::WalkFallbackTree(TreeGatherProgram::new(cluster, leader)),
+                    SelectionPlans::default(),
+                )
+            } else {
+                let program = WalkScheduleProgram::new(cluster, &plan);
+                (
+                    SelectedGather::Walk(Box::new(program)),
+                    SelectionPlans {
+                        load_balance: None,
+                        walk: Some(plan),
+                    },
+                )
+            }
+        }
     }
 }
 

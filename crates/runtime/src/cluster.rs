@@ -23,6 +23,11 @@ pub struct ClusterExecution<S> {
     pub meter: RoundMeter,
     /// Rounds of the slowest cluster (equals `meter.rounds()`).
     pub max_rounds: u64,
+    /// Rounds executed by each cluster individually, aligned with `members`
+    /// (the per-cluster numbers the parallel merge folds into `max_rounds`).
+    pub cluster_rounds: Vec<u64>,
+    /// Messages sent by each cluster individually, aligned with `members`.
+    pub cluster_messages: Vec<u64>,
 }
 
 impl<S> ClusterExecution<S> {
@@ -115,6 +120,8 @@ where
         cluster_states.push(states);
         cluster_meters.push(cluster_meter);
     }
+    let cluster_rounds: Vec<u64> = cluster_meters.iter().map(RoundMeter::rounds).collect();
+    let cluster_messages: Vec<u64> = cluster_meters.iter().map(RoundMeter::messages).collect();
     meter.merge_parallel(cluster_meters.iter());
 
     Ok(ClusterExecution {
@@ -122,5 +129,7 @@ where
         cluster_states,
         max_rounds: meter.rounds(),
         meter,
+        cluster_rounds,
+        cluster_messages,
     })
 }

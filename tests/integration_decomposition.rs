@@ -3,15 +3,18 @@
 //! graph families the paper's theorems quantify over.
 
 use mfd_congest::RoundMeter;
-use mfd_core::edt::{build_edt, EdtConfig};
+use mfd_core::edt::{build_edt, build_edt_with, EdtConfig};
 use mfd_core::expander::{
     min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams,
 };
 use mfd_core::ldd::{chop_ldd, measure_ldd};
 use mfd_core::overlap::{overlap_expander_decomposition, OverlapParams};
 use mfd_graph::{generators, planarity, Graph};
+use mfd_routing::backend::Executed;
 use mfd_routing::gather::GatherStrategy;
 use mfd_routing::walks::WalkParams;
+use mfd_sim::SimConfig;
+use proptest::prelude::*;
 
 fn planar_instances() -> Vec<(&'static str, Graph)> {
     vec![
@@ -126,6 +129,130 @@ fn ldd_and_overlap_and_expander_decompositions_compose() {
     assert!(exp.clustering.all_clusters_connected(&g));
     let phi = min_cluster_conductance(&g, &exp.clustering, 60);
     assert!(phi > 0.0);
+}
+
+/// The executed-decomposition acceptance families: every `build_edt` claim
+/// about the `Executed` backend is pinned on these (mirrors the executed
+/// gather layer's acceptance set).
+fn edt_acceptance_families() -> Vec<(&'static str, Graph, f64)> {
+    mfd_bench::edt_acceptance_families()
+}
+
+/// Acceptance criterion of the executed construction: on every acceptance
+/// family the `Executed` backend yields the *same decomposition* as the
+/// `Metered` one, valid, with every executed round inside the metered
+/// charge — construction and routing separately.
+#[test]
+fn executed_decomposition_within_metered_charge_on_acceptance_families() {
+    for (name, g, eps) in edt_acceptance_families() {
+        let config = EdtConfig::new(eps);
+        let (metered, charged) = build_edt(&g, &config);
+        let (executed, spent) = build_edt_with(&g, &config, &Executed::default());
+        assert!(
+            executed.is_valid(&g),
+            "{name}: executed decomposition invalid"
+        );
+        assert_eq!(
+            metered.clustering, executed.clustering,
+            "{name}: backends disagree on the partition"
+        );
+        assert_eq!(metered.leaders, executed.leaders, "{name}");
+        assert!(
+            spent.rounds() <= charged.rounds(),
+            "{name}: executed {} rounds exceed the metered {}",
+            spent.rounds(),
+            charged.rounds()
+        );
+        assert!(
+            executed.construction_rounds <= metered.construction_rounds,
+            "{name}: construction executed {} > charged {}",
+            executed.construction_rounds,
+            metered.construction_rounds
+        );
+        assert!(
+            executed.routing_rounds <= metered.routing_rounds,
+            "{name}: routing executed {} > charged {}",
+            executed.routing_rounds,
+            metered.routing_rounds
+        );
+        assert!(executed.routing_rounds > 0, "{name}");
+    }
+}
+
+/// The full construction is engine-invariant: running the `Executed` backend
+/// on the synchronous executor and on the `Fixed(1)` event simulation gives
+/// bit-identical decompositions and bit-identical accounting.
+#[test]
+fn executed_decomposition_is_bit_identical_across_engines() {
+    for (name, g, eps) in edt_acceptance_families() {
+        let config = EdtConfig::new(eps);
+        let (sync, sync_meter) = build_edt_with(&g, &config, &Executed::default());
+        let (sim, sim_meter) = build_edt_with(&g, &config, &Executed::sim(SimConfig::default()));
+        assert_eq!(sync.clustering, sim.clustering, "{name}");
+        assert_eq!(sync.leaders, sim.leaders, "{name}");
+        assert_eq!(sync.construction_rounds, sim.construction_rounds, "{name}");
+        assert_eq!(sync.routing_rounds, sim.routing_rounds, "{name}");
+        assert_eq!(
+            sync.min_delivered_fraction, sim.min_delivered_fraction,
+            "{name}"
+        );
+        assert_eq!(sync.routing_strategy, sim.routing_strategy, "{name}");
+        assert_eq!(sync_meter.rounds(), sim_meter.rounds(), "{name}");
+        assert_eq!(sync_meter.messages(), sim_meter.messages(), "{name}");
+        assert_eq!(
+            sync_meter.max_words_on_edge(),
+            sim_meter.max_words_on_edge(),
+            "{name}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random apollonian clusters: the executed backend's decomposition is
+    /// valid, equals the metered backend's partition (the clustering
+    /// decisions are deterministic and backend-independent), and spends no
+    /// more rounds than the metered path charges.
+    #[test]
+    fn executed_edt_matches_metered_on_random_apollonians(
+        n in 24usize..120,
+        seed in 0u64..300,
+        eps_idx in 0usize..3,
+    ) {
+        let g = generators::random_apollonian(n, seed);
+        let config = EdtConfig::new([0.2, 0.3, 0.4][eps_idx]);
+        let (metered, charged) = build_edt(&g, &config);
+        let (executed, spent) = build_edt_with(&g, &config, &Executed::default());
+        prop_assert!(executed.is_valid(&g));
+        prop_assert_eq!(metered.clustering, executed.clustering);
+        prop_assert_eq!(metered.leaders, executed.leaders);
+        prop_assert_eq!(metered.iterations, executed.iterations);
+        prop_assert!(spent.rounds() <= charged.rounds(),
+            "executed {} > charged {}", spent.rounds(), charged.rounds());
+    }
+
+    /// Random grid clusters, the low-conductance regime where strategy
+    /// selection and the tree pipeline carry the weight.
+    #[test]
+    fn executed_edt_matches_metered_on_random_grids(
+        rows in 4usize..10,
+        cols in 4usize..10,
+        triangulated in 0usize..2,
+    ) {
+        let g = if triangulated == 1 {
+            generators::triangulated_grid(rows, cols)
+        } else {
+            generators::grid(rows, cols)
+        };
+        let config = EdtConfig::new(0.3);
+        let (metered, charged) = build_edt(&g, &config);
+        let (executed, spent) = build_edt_with(&g, &config, &Executed::default());
+        prop_assert!(executed.is_valid(&g));
+        prop_assert_eq!(metered.clustering, executed.clustering);
+        prop_assert!(spent.rounds() <= charged.rounds(),
+            "executed {} > charged {}", spent.rounds(), charged.rounds());
+    }
 }
 
 #[test]
