@@ -185,7 +185,18 @@ fn main() -> ExitCode {
 /// semantic property of the protocol, so a flip changes the series key and
 /// fails the gate loudly as a disappeared series instead of sliding under a
 /// numeric tolerance.
-const METRIC_FIELDS: [&str; 5] = ["rounds", "messages", "makespan", "delivered", "retransmits"];
+const METRIC_FIELDS: [&str; 10] = [
+    "rounds",
+    "messages",
+    "makespan",
+    "delivered",
+    "retransmits",
+    "excused",
+    "events",
+    "spans",
+    "cluster_rounds_max",
+    "cluster_messages",
+];
 
 /// Reads one `BENCH_*.json` file and folds its series into `out`, keyed by
 /// the schema kind plus every identity field of the row; `kinds` collects

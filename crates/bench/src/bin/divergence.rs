@@ -1,0 +1,171 @@
+//! Divergence hunter: runs two digest-journaled executions and
+//! binary-searches the first round where their state histories part ways.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mfd-bench --bin divergence                 # executor vs sim
+//! cargo run --release -p mfd-bench --bin divergence -- --self      # same run twice
+//! cargo run --release -p mfd-bench --bin divergence -- --inject 5:3 # corrupt v3 at round 5
+//! cargo run --release -p mfd-bench --bin divergence -- --rounds 32 --graph wheel-64
+//! ```
+//!
+//! Every mode runs [`mfd_bench::trace::DivergenceProbe`] with a
+//! [`mfd_trace::DigestSink`] journaling one chained digest per round (round
+//! 0 is the initial configuration), compares the chains with the O(log r)
+//! search of [`mfd_trace::first_divergence`], and — when they differ —
+//! localizes the culprit vertices from the per-round snapshots. `--self`
+//! and the default cross-engine comparison must print `no divergence`; CI
+//! runs them as a determinism smoke test. `--inject R:V` deliberately
+//! corrupts vertex `V` at round `R` in the second run, demonstrating that
+//! the hunter pinpoints exactly that round and vertex.
+
+use mfd_bench::trace::{executor_chain, sim_chain, DivergenceProbe};
+use mfd_graph::Graph;
+use mfd_runtime::ExecutorConfig;
+use mfd_sim::LatencyModel;
+use mfd_trace::{first_divergence, DigestSink};
+
+struct Options {
+    rounds: u64,
+    graph: String,
+    self_compare: bool,
+    inject: Option<(u64, usize)>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        rounds: 16,
+        graph: "tri-grid-8x8".to_string(),
+        self_compare: false,
+        inject: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self" => opts.self_compare = true,
+            "--rounds" => {
+                opts.rounds = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--rounds requires an integer argument");
+            }
+            "--graph" => {
+                opts.graph = args.next().expect("--graph requires a family name");
+            }
+            "--inject" => {
+                let spec = args
+                    .next()
+                    .expect("--inject requires a ROUND:VERTEX argument");
+                let (r, v) = spec
+                    .split_once(':')
+                    .expect("--inject argument must be ROUND:VERTEX");
+                opts.inject = Some((
+                    r.parse().expect("--inject round must be an integer"),
+                    v.parse().expect("--inject vertex must be an integer"),
+                ));
+            }
+            other => panic!("unknown argument {other:?} (see the module docs)"),
+        }
+    }
+    opts
+}
+
+fn family(name: &str) -> Graph {
+    mfd_bench::acceptance_families()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, g)| g)
+        .unwrap_or_else(|| {
+            panic!(
+                "unknown graph family {name:?}; valid families: {}",
+                mfd_bench::acceptance_families()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+/// Compares two chains, printing either `no divergence` or the first
+/// diverging round with its culprit vertices. Returns whether they diverged.
+fn verdict(label_a: &str, a: &DigestSink, label_b: &str, b: &DigestSink) -> bool {
+    let (ca, cb) = (a.chain(), b.chain());
+    match first_divergence(&ca, &cb) {
+        None => {
+            if ca.len() == cb.len() {
+                println!(
+                    "no divergence: {label_a} and {label_b} agree on all {} rounds (head {:016x})",
+                    ca.len(),
+                    a.head()
+                );
+            } else {
+                println!(
+                    "no divergence in the common prefix, but {label_a} sealed {} rounds and {label_b} sealed {}",
+                    ca.len(),
+                    cb.len()
+                );
+            }
+            false
+        }
+        Some(round) => {
+            let vertices = DigestSink::diverging_vertices(a, b, round);
+            println!(
+                "DIVERGENCE at round {round}: {label_a} head {:016x} != {label_b} head {:016x}",
+                ca[round], cb[round]
+            );
+            println!(
+                "  diverging vertices at round {round}: {vertices:?} \
+                 (binary search over {} sealed rounds)",
+                ca.len().min(cb.len())
+            );
+            true
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let g = family(&opts.graph);
+    let cfg = ExecutorConfig::default();
+    let clean = DivergenceProbe::clean(opts.rounds);
+    println!(
+        "divergence probe on {} (n={}, m={}), {} rounds",
+        opts.graph,
+        g.n(),
+        g.m(),
+        opts.rounds
+    );
+
+    let diverged = if opts.self_compare {
+        // Same engine, same seed, twice: the determinism smoke test.
+        let (a, _) = executor_chain(&g, &clean, &cfg).expect("probe is model-compliant");
+        let (b, _) = executor_chain(&g, &clean, &cfg).expect("probe is model-compliant");
+        verdict("run A", &a, "run B", &b)
+    } else if let Some((round, vertex)) = opts.inject {
+        assert!(vertex < g.n(), "--inject vertex {vertex} out of range");
+        assert!(
+            round >= 1 && round <= opts.rounds,
+            "--inject round {round} outside 1..={}",
+            opts.rounds
+        );
+        let probe = DivergenceProbe::perturbed(opts.rounds, round, vertex);
+        let (a, _) = executor_chain(&g, &clean, &cfg).expect("probe is model-compliant");
+        let (b, _) = executor_chain(&g, &probe, &cfg).expect("probe is model-compliant");
+        println!("injected: vertex {vertex} corrupted at round {round} in run B");
+        verdict("clean", &a, "injected", &b)
+    } else {
+        // The cross-engine differential: synchronous executor vs the
+        // discrete-event engine at unit latency.
+        let (a, _) = executor_chain(&g, &clean, &cfg).expect("probe is model-compliant");
+        let (b, _) =
+            sim_chain(&g, &clean, &cfg, LatencyModel::Fixed(1)).expect("probe is model-compliant");
+        verdict("executor", &a, "sim(fixed-1)", &b)
+    };
+
+    if opts.inject.is_some() {
+        assert!(diverged, "an injected divergence must be found");
+    } else {
+        assert!(!diverged, "engines/self runs must not diverge");
+    }
+}

@@ -21,7 +21,7 @@ use mfd_apps::solvers;
 use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
 use mfd_bench::{f3, Table};
 use mfd_congest::RoundMeter;
-use mfd_core::edt::{build_edt, build_edt_with, EdtConfig};
+use mfd_core::edt::{build_edt, build_edt_traced, EdtConfig};
 use mfd_core::expander::{
     min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams,
 };
@@ -31,7 +31,7 @@ use mfd_core::programs::{BfsProgram, ColeVishkinProgram, VoronoiLddProgram};
 use mfd_faults::{crash_and_regather, gather_raw, gather_recovered, FaultModel, Reliable};
 use mfd_graph::generators;
 use mfd_graph::properties::splitmix64;
-use mfd_routing::backend::Executed;
+use mfd_routing::backend::{Executed, Metered};
 use mfd_routing::gather::{gather_to_leader, GatherStrategy};
 use mfd_routing::load_balance::{LoadBalanceParams, LoadBalancePlan};
 use mfd_routing::programs::{
@@ -40,11 +40,41 @@ use mfd_routing::programs::{
 use mfd_routing::walks::WalkParams;
 use mfd_runtime::{Executor, ExecutorConfig, NodeProgram};
 use mfd_sim::{LatencyModel, SimConfig, Simulator};
+use mfd_trace::{DigestSink, MetricsSink, Tee};
+
+/// Every section the report can regenerate, in print order. `--section`
+/// arguments are validated against this list, and `--list-sections` prints
+/// it, so CI job definitions can't silently reference a renamed section.
+const SECTIONS: [&str; 17] = [
+    "table1",
+    "scaling_n",
+    "scaling_eps",
+    "ldd",
+    "expander",
+    "overlap",
+    "routing",
+    "mis",
+    "matching_vc",
+    "maxcut",
+    "ptest",
+    "ablations",
+    "runtime",
+    "gather",
+    "faults",
+    "edt",
+    "trace",
+];
 
 fn main() {
     let mut sections: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if arg == "--list-sections" {
+            for section in SECTIONS {
+                println!("{section}");
+            }
+            return;
+        }
         if arg == "--section" {
             let name = args
                 .next()
@@ -52,6 +82,16 @@ fn main() {
             sections.push(name);
         } else {
             sections.push(arg);
+        }
+    }
+    for section in &sections {
+        if section != "all" && !SECTIONS.contains(&section.as_str()) {
+            eprintln!(
+                "error: unknown section {section:?}\nvalid sections: {}, all \
+                 (or run with --list-sections)",
+                SECTIONS.join(", ")
+            );
+            std::process::exit(2);
         }
     }
     let want =
@@ -101,6 +141,9 @@ fn main() {
     }
     if want("edt") {
         edt_report();
+    }
+    if want("trace") {
+        trace_report();
     }
 }
 
@@ -927,6 +970,7 @@ struct FaultRow {
     messages: u64,
     delivered: f64,
     retransmits: Option<u64>,
+    excused: Option<u64>,
     wedged: bool,
 }
 
@@ -936,10 +980,14 @@ impl FaultRow {
             Some(x) => x.to_string(),
             None => "null".to_string(),
         };
+        let excused = match self.excused {
+            Some(x) => x.to_string(),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"strategy\":\"{}\",\"fault\":\"{}\",\
              \"mode\":\"{}\",\"f\":{:.3},\"rounds\":{},\"messages\":{},\
-             \"delivered\":{:.6},\"retransmits\":{},\"wedged\":{}}}",
+             \"delivered\":{:.6},\"retransmits\":{},\"excused\":{},\"wedged\":{}}}",
             self.graph,
             self.n,
             self.m,
@@ -951,6 +999,7 @@ impl FaultRow {
             self.messages,
             self.delivered,
             retransmits,
+            excused,
             self.wedged
         )
     }
@@ -985,6 +1034,7 @@ fn run_fault_scenario<P>(
         messages: raw.gather.messages,
         delivered: raw.gather.delivered_fraction,
         retransmits: None,
+        excused: None,
         wedged: raw.wedged,
     });
     let reliable = Reliable::new(program.clone());
@@ -1008,6 +1058,7 @@ fn run_fault_scenario<P>(
         messages: rec.gather.messages,
         delivered: rec.gather.delivered_fraction,
         retransmits: Some(stats.retransmitted),
+        excused: Some(stats.excused),
         wedged: rec.wedged,
     });
 }
@@ -1068,6 +1119,7 @@ fn faults_report() {
             messages: crash.election_messages + crash.regather.messages,
             delivered: crash.regather.delivered_fraction,
             retransmits: None,
+            excused: None,
             wedged: false,
         });
     }
@@ -1085,6 +1137,7 @@ fn faults_report() {
             "messages",
             "delivered",
             "retransmits",
+            "excused",
             "wedged",
         ],
     );
@@ -1098,6 +1151,7 @@ fn faults_report() {
             r.messages.to_string(),
             f3(r.delivered),
             r.retransmits.map_or("-".to_string(), |x| x.to_string()),
+            r.excused.map_or("-".to_string(), |x| x.to_string()),
             r.wedged.to_string(),
         ]);
     }
@@ -1128,6 +1182,11 @@ struct EdtRow {
     rounds: u64,
     messages: u64,
     delivered: Option<f64>,
+    /// Largest per-cluster round count of the routing gathers (routing-phase
+    /// rows only; the parallel fold otherwise collapses it into a max).
+    cluster_rounds_max: Option<u64>,
+    /// Summed per-cluster messages of the routing gathers.
+    cluster_messages: Option<u64>,
 }
 
 impl EdtRow {
@@ -1136,9 +1195,11 @@ impl EdtRow {
             Some(d) => format!("{d:.6}"),
             None => "null".to_string(),
         };
+        let opt = |x: Option<u64>| x.map_or("null".to_string(), |v| v.to_string());
         format!(
             "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"eps\":{:.3},\"backend\":\"{}\",\
-             \"phase\":\"{}\",\"rounds\":{},\"messages\":{},\"delivered\":{}}}",
+             \"phase\":\"{}\",\"rounds\":{},\"messages\":{},\"delivered\":{},\
+             \"cluster_rounds_max\":{},\"cluster_messages\":{}}}",
             self.graph,
             self.n,
             self.m,
@@ -1147,7 +1208,9 @@ impl EdtRow {
             self.phase,
             self.rounds,
             self.messages,
-            delivered
+            delivered,
+            opt(self.cluster_rounds_max),
+            opt(self.cluster_messages)
         )
     }
 }
@@ -1163,8 +1226,10 @@ fn edt_report() {
     let mut rows: Vec<EdtRow> = Vec::new();
     for (name, g, eps) in &families {
         let config = EdtConfig::new(*eps);
-        let (metered, charged) = build_edt(g, &config);
-        let (executed, spent) = build_edt_with(g, &config, &Executed::default());
+        let mut charged_sink = MetricsSink::new();
+        let (metered, charged) = build_edt_traced(g, &config, &Metered, &mut charged_sink);
+        let mut spent_sink = MetricsSink::new();
+        let (executed, spent) = build_edt_traced(g, &config, &Executed::default(), &mut spent_sink);
         assert!(
             executed.is_valid(g),
             "{name}: executed decomposition invalid"
@@ -1191,7 +1256,10 @@ fn edt_report() {
             executed.routing_rounds,
             metered.routing_rounds
         );
-        for (d, meter) in [(&metered, &charged), (&executed, &spent)] {
+        for (d, meter, sink) in [
+            (&metered, &charged, &charged_sink),
+            (&executed, &spent, &spent_sink),
+        ] {
             let routing_messages: u64 = meter
                 .phases()
                 .iter()
@@ -1208,6 +1276,8 @@ fn edt_report() {
                 rounds: d.construction_rounds,
                 messages: meter.messages() - routing_messages,
                 delivered: None,
+                cluster_rounds_max: None,
+                cluster_messages: None,
             });
             rows.push(EdtRow {
                 graph: name.to_string(),
@@ -1219,6 +1289,8 @@ fn edt_report() {
                 rounds: d.routing_rounds,
                 messages: routing_messages,
                 delivered: Some(d.min_delivered_fraction),
+                cluster_rounds_max: Some(sink.max_cluster_rounds()),
+                cluster_messages: Some(sink.cluster_messages()),
             });
         }
     }
@@ -1234,6 +1306,8 @@ fn edt_report() {
             "rounds",
             "messages",
             "delivered",
+            "cluster rounds (max)",
+            "cluster messages",
         ],
     );
     for r in &rows {
@@ -1245,6 +1319,10 @@ fn edt_report() {
             r.rounds.to_string(),
             r.messages.to_string(),
             r.delivered.map_or("-".to_string(), f3),
+            r.cluster_rounds_max
+                .map_or("-".to_string(), |x| x.to_string()),
+            r.cluster_messages
+                .map_or("-".to_string(), |x| x.to_string()),
         ]);
     }
     table.print();
@@ -1258,5 +1336,186 @@ fn edt_report() {
     );
     let path = "BENCH_edt.json";
     std::fs::write(path, json).expect("write BENCH_edt.json");
+    println!("wrote {path} ({} series)", rows.len());
+}
+
+/// One trace-surface measurement destined for `BENCH_trace.json`: a traced
+/// program on an acceptance family under one engine — event/span counts and
+/// the digest-chain head — or an edt construction's span accounting.
+struct TraceRow {
+    program: &'static str,
+    graph: String,
+    n: usize,
+    m: usize,
+    engine: &'static str,
+    rounds: u64,
+    messages: u64,
+    events: u64,
+    spans: u64,
+    /// Digest-chain head over all sealed rounds (hex), when state digests
+    /// are part of the row (engine runs; the edt span rows have none).
+    digest: Option<String>,
+}
+
+impl TraceRow {
+    fn to_json(&self) -> String {
+        let digest = match &self.digest {
+            Some(d) => format!("\"{d}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"program\":\"{}\",\"graph\":\"{}\",\"n\":{},\"m\":{},\"engine\":\"{}\",\
+             \"rounds\":{},\"messages\":{},\"events\":{},\"spans\":{},\"digest\":{}}}",
+            self.program,
+            self.graph,
+            self.n,
+            self.m,
+            self.engine,
+            self.rounds,
+            self.messages,
+            self.events,
+            self.spans,
+            digest
+        )
+    }
+}
+
+/// Runs one program under both engines with a `Tee(MetricsSink, DigestSink)`
+/// and appends one row per engine. The digest heads must agree (unit-latency
+/// engine equivalence, checked here so a divergence fails the report).
+fn run_trace_engines<P>(
+    g: &mfd_graph::Graph,
+    program: &P,
+    graph_name: &str,
+    prog_name: &'static str,
+    rows: &mut Vec<TraceRow>,
+) where
+    P: NodeProgram,
+    P::State: std::hash::Hash,
+{
+    let cfg = ExecutorConfig::default();
+    let mut sink = Tee::new(MetricsSink::new(), DigestSink::new());
+    let sync = Executor::new(cfg.clone())
+        .run_traced(g, program, &mut sink)
+        .expect("program is model-compliant");
+    let head = sink.b.head();
+    rows.push(TraceRow {
+        program: prog_name,
+        graph: graph_name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        engine: "executor",
+        rounds: sync.rounds,
+        messages: sync.messages,
+        events: sink.a.total_events(),
+        spans: sink.a.spans.len() as u64,
+        digest: Some(format!("{head:016x}")),
+    });
+    let mut sim_sink = Tee::new(MetricsSink::new(), DigestSink::new());
+    let sim = Simulator::new(SimConfig::matching(&cfg, LatencyModel::Fixed(1)))
+        .run_traced(g, program, &mut sim_sink)
+        .expect("program is model-compliant");
+    assert_eq!(
+        sim_sink.b.head(),
+        head,
+        "{prog_name} on {graph_name}: engines disagree on the digest chain"
+    );
+    rows.push(TraceRow {
+        program: prog_name,
+        graph: graph_name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        engine: "sim-fixed-1",
+        rounds: sim.rounds,
+        messages: sim.messages,
+        events: sim_sink.a.total_events(),
+        spans: sim_sink.a.spans.len() as u64,
+        digest: Some(format!("{:016x}", sim_sink.b.head())),
+    });
+}
+
+/// R5 — the observability surface itself: per program × family × engine
+/// event/span counts and the digest-chain head, plus the edt constructions'
+/// span accounting, written to `BENCH_trace.json`. CI regenerates the file
+/// twice and byte-diffs it — the determinism contract of `mfd-trace`,
+/// machine-checked.
+fn trace_report() {
+    let mut rows: Vec<TraceRow> = Vec::new();
+    for (name, g) in &mfd_bench::acceptance_families() {
+        run_trace_engines(g, &BfsProgram { root: 0 }, name, "bfs", &mut rows);
+
+        let mut meter = RoundMeter::new();
+        let tree = mfd_congest::primitives::build_bfs_tree(g, None, 0, &mut meter);
+        let id: Vec<u64> = (0..g.n() as u64).map(splitmix64).collect();
+        let cv = ColeVishkinProgram::new(tree.parent.clone(), id);
+        run_trace_engines(g, &cv, name, "cole-vishkin", &mut rows);
+
+        let centers: Vec<usize> = (0..8).map(|i| (i * g.n()) / 8).collect();
+        let voronoi = VoronoiLddProgram::new(g.n(), &centers);
+        run_trace_engines(g, &voronoi, name, "voronoi-ldd-8", &mut rows);
+    }
+
+    // The edt constructions' phase spans: merge/refine/routing rounds and
+    // messages per span, plus one cluster_run event per routing gather.
+    for (name, g, eps) in &mfd_bench::edt_acceptance_families() {
+        let config = EdtConfig::new(*eps);
+        for backend_rows in [
+            {
+                let mut sink = MetricsSink::new();
+                let (_, meter) = build_edt_traced(g, &config, &Metered, &mut sink);
+                ("edt-metered", sink, meter)
+            },
+            {
+                let mut sink = MetricsSink::new();
+                let (_, meter) = build_edt_traced(g, &config, &Executed::default(), &mut sink);
+                ("edt-executed", sink, meter)
+            },
+        ] {
+            let (engine, sink, meter) = backend_rows;
+            rows.push(TraceRow {
+                program: "edt",
+                graph: name.to_string(),
+                n: g.n(),
+                m: g.m(),
+                engine,
+                rounds: meter.rounds(),
+                messages: meter.messages(),
+                events: sink.total_events(),
+                spans: sink.spans.len() as u64,
+                digest: None,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "R5 — trace surface: event/span counts and digest-chain heads \
+         (engines agree on every head; the JSON is byte-diffed in CI)",
+        &[
+            "program", "graph", "engine", "rounds", "messages", "events", "spans", "digest",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.program.to_string(),
+            r.graph.clone(),
+            r.engine.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            r.events.to_string(),
+            r.spans.to_string(),
+            r.digest.clone().unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/trace/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(TraceRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_trace.json";
+    std::fs::write(path, json).expect("write BENCH_trace.json");
     println!("wrote {path} ({} series)", rows.len());
 }

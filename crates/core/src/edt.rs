@@ -58,6 +58,7 @@ use mfd_congest::RoundMeter;
 use mfd_graph::Graph;
 use mfd_routing::backend::{Executed, GatherBackend, GatherEngine, GatherJob, Metered};
 use mfd_routing::gather::GatherStrategy;
+use mfd_trace::TraceSink;
 
 use crate::cluster_round::ClusterRoundProgram;
 use crate::clustering::Clustering;
@@ -299,6 +300,24 @@ pub fn build_edt_with<B: EdtBackend>(
     config: &EdtConfig,
     backend: &B,
 ) -> (EdtDecomposition, RoundMeter) {
+    build_edt_traced(g, config, backend, &mut ())
+}
+
+/// [`build_edt_with`] with phase observability: every merge iteration,
+/// refinement pass and the routing-`A` execution is bracketed by a span on
+/// `sink` (`"merge"` / `"refine"` / `"routing"`, mirroring the meter's phase
+/// records) carrying the rounds and messages that phase charged, and the
+/// routing gathers emit one [`mfd_trace::Event::ClusterRun`] per cluster via
+/// [`GatherBackend::gather_all_traced`].
+///
+/// `&mut ()` is the no-op sink; `build_edt_with` is exactly that call, so
+/// tracing changes nothing about the decomposition or the accounting.
+pub fn build_edt_traced<B: EdtBackend>(
+    g: &Graph,
+    config: &EdtConfig,
+    backend: &B,
+    sink: &mut dyn TraceSink,
+) -> (EdtDecomposition, RoundMeter) {
     let mut meter = RoundMeter::new();
     let eps = config.epsilon;
     let merge_target = eps / 2.0;
@@ -318,10 +337,17 @@ pub fn build_edt_with<B: EdtBackend>(
             }
             iterations += 1;
             meter.start_phase("merge");
+            sink.span_open("merge");
+            let spent = (meter.rounds(), meter.messages());
             let before = clustering.inter_cluster_edges(g);
             clustering = merge_step(g, &clustering, fraction, config, backend, &mut meter);
             let after = clustering.inter_cluster_edges(g);
             meter.end_phase();
+            sink.span_close(
+                "merge",
+                meter.rounds() - spent.0,
+                meter.messages() - spent.1,
+            );
             if after >= before {
                 // No progress is possible (e.g. every remaining link is light).
                 break;
@@ -333,6 +359,8 @@ pub fn build_edt_with<B: EdtBackend>(
                 let this_budget = refine_budget / 2.0;
                 refine_budget -= this_budget;
                 meter.start_phase("refine");
+                sink.span_open("refine");
+                let spent = (meter.rounds(), meter.messages());
                 clustering = refine_step(
                     g,
                     &clustering,
@@ -343,6 +371,11 @@ pub fn build_edt_with<B: EdtBackend>(
                     &mut meter,
                 );
                 meter.end_phase();
+                sink.span_close(
+                    "refine",
+                    meter.rounds() - spent.0,
+                    meter.messages() - spent.1,
+                );
                 refinements += 1;
             }
         }
@@ -352,6 +385,8 @@ pub fn build_edt_with<B: EdtBackend>(
         let max_diam = clustering.max_cluster_diameter(g).unwrap_or(usize::MAX);
         if max_diam > d_target && refine_budget > 0.0 {
             meter.start_phase("refine");
+            sink.span_open("refine");
+            let spent = (meter.rounds(), meter.messages());
             clustering = refine_step(
                 g,
                 &clustering,
@@ -362,6 +397,11 @@ pub fn build_edt_with<B: EdtBackend>(
                 &mut meter,
             );
             meter.end_phase();
+            sink.span_close(
+                "refine",
+                meter.rounds() - spent.0,
+                meter.messages() - spent.1,
+            );
             refinements += 1;
         }
     }
@@ -370,6 +410,8 @@ pub fn build_edt_with<B: EdtBackend>(
 
     // ---- Routing setup: leaders + one execution of the routing algorithm. ----
     meter.start_phase("routing");
+    sink.span_open("routing");
+    let spent = (meter.rounds(), meter.messages());
     let mut leaders = Vec::with_capacity(clustering.num_clusters());
     let mut jobs: Vec<GatherJob> = Vec::new();
     for c in 0..clustering.num_clusters() {
@@ -387,12 +429,13 @@ pub fn build_edt_with<B: EdtBackend>(
             });
         }
     }
-    let reports = backend.gather_all(
+    let reports = backend.gather_all_traced(
         g,
         &jobs,
         config.failure_fraction,
         &config.routing_gather,
         &mut meter,
+        sink,
     );
     let mut min_delivered: f64 = 1.0;
     let mut strategy_name = "tree-pipeline";
@@ -401,6 +444,11 @@ pub fn build_edt_with<B: EdtBackend>(
         min_delivered = min_delivered.min(report.delivered_fraction);
     }
     meter.end_phase();
+    sink.span_close(
+        "routing",
+        meter.rounds() - spent.0,
+        meter.messages() - spent.1,
+    );
     let routing_rounds = meter.rounds() - construction_rounds;
 
     let epsilon_achieved = clustering.edge_fraction(g);

@@ -49,7 +49,7 @@ pub struct ColeVishkinProgram {
 }
 
 /// Per-vertex state of [`ColeVishkinProgram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CvState {
     /// Current colour (an identifier initially; finally in `{0, 1, 2}`).
     pub color: u64,
@@ -191,7 +191,7 @@ pub struct BfsProgram {
 }
 
 /// Per-vertex state of [`BfsProgram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BfsState {
     /// BFS depth, once known.
     pub depth: Option<u64>,
@@ -341,7 +341,7 @@ pub struct VoronoiLddProgram {
 }
 
 /// Per-vertex state of [`VoronoiLddProgram`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VoronoiState {
     /// Owning center, once adopted.
     pub center: Option<u32>,

@@ -55,6 +55,7 @@ use std::collections::BTreeMap;
 use mfd_congest::CongestError;
 use mfd_routing::programs::GatherProgram;
 use mfd_runtime::{Envelope, NodeCtx, NodeProgram, Outbox, RuntimeMessage};
+use mfd_trace::{Event, TraceSink};
 
 /// One transport frame: the per-edge, per-physical-round unit of the
 /// adapter. Metadata (ack, boundary, fin) is cumulative/sticky and repeated
@@ -148,7 +149,19 @@ pub struct ReliableState<P: NodeProgram> {
     pub delivered_inner: u64,
     /// Neighbors this vertex excused as crash-stopped (silence cutoff).
     pub peers_excused: u64,
+    /// Transport events recorded during the run (only with
+    /// [`Reliable::with_trace`]): `(round, kind, peer, count)` with kinds
+    /// [`TRACE_RETRANSMIT`], [`TRACE_EXCUSE`], [`TRACE_CLOSE`]. Drained into
+    /// a sink by [`Reliable::drain_trace`].
+    trace_log: Vec<(u64, u8, usize, u64)>,
 }
+
+/// [`ReliableState::trace_log`] kind: a timeout retransmission burst.
+const TRACE_RETRANSMIT: u8 = 0;
+/// [`ReliableState::trace_log`] kind: a peer excused as crash-stopped.
+const TRACE_EXCUSE: u8 = 1;
+/// [`ReliableState::trace_log`] kind: the linger close was scheduled.
+const TRACE_CLOSE: u8 = 2;
 
 /// Aggregated transport statistics of a completed [`Reliable<P>`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -197,6 +210,7 @@ pub struct Reliable<P> {
     max_frame_words: usize,
     budget: Option<u64>,
     peer_cutoff: u64,
+    trace: bool,
 }
 
 /// Inner rounds an isolated (or fully caught-up) vertex may run per physical
@@ -217,7 +231,16 @@ impl<P: NodeProgram> Reliable<P> {
             max_frame_words: 1,
             budget: None,
             peer_cutoff: 24,
+            trace: false,
         }
+    }
+
+    /// Records transport events (retransmissions, excusals, link closes)
+    /// into each vertex's state for [`Reliable::drain_trace`]. Off by
+    /// default so untraced runs stay bit-identical to the pre-trace adapter.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Sets the retransmission timeout, in physical rounds (clamped ≥ 1).
@@ -281,6 +304,43 @@ impl<P: NodeProgram> Reliable<P> {
         out
     }
 
+    /// Replays the transport events recorded by a [`Reliable::with_trace`]
+    /// run into `sink` as [`Event::Retransmit`] / [`Event::Excuse`] /
+    /// [`Event::LinkClose`], sorted by `(round, vertex, kind, peer)` — the engines
+    /// step vertices in parallel, so events are journaled per vertex during
+    /// the run and serialized deterministically here, after it.
+    ///
+    /// Without `with_trace` the logs are empty and this is a no-op.
+    pub fn drain_trace(states: &[ReliableState<P>], sink: &mut dyn TraceSink) {
+        let mut log: Vec<(u64, usize, u8, usize, u64)> = states
+            .iter()
+            .enumerate()
+            .flat_map(|(v, s)| {
+                s.trace_log
+                    .iter()
+                    .map(move |&(round, kind, peer, count)| (round, v, kind, peer, count))
+            })
+            .collect();
+        log.sort_unstable();
+        for (round, vertex, kind, peer, count) in log {
+            let event = match kind {
+                TRACE_RETRANSMIT => Event::Retransmit {
+                    vertex,
+                    peer,
+                    round,
+                    count,
+                },
+                TRACE_EXCUSE => Event::Excuse {
+                    vertex,
+                    peer,
+                    round,
+                },
+                _ => Event::LinkClose { vertex, round },
+            };
+            sink.event(&event);
+        }
+    }
+
     /// Neighbor slot of `v` in the sorted adjacency.
     fn slot(ctx: &NodeCtx, v: usize) -> usize {
         ctx.neighbors
@@ -342,6 +402,7 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
             retransmitted: 0,
             delivered_inner: 0,
             peers_excused: 0,
+            trace_log: Vec::new(),
         }
     }
 
@@ -393,6 +454,9 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
             if !rx.dead && !settled && r.saturating_sub(rx.last_heard) >= self.peer_cutoff {
                 state.rx[i].dead = true;
                 state.peers_excused += 1;
+                if self.trace {
+                    state.trace_log.push((r, TRACE_EXCUSE, ctx.neighbors[i], 0));
+                }
             }
         }
 
@@ -470,6 +534,9 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                 .all(|x| x.dead || (x.peer_fin && x.prefix >= x.peer_cum))
         {
             state.close_at = Some(r + self.linger);
+            if self.trace {
+                state.trace_log.push((r, TRACE_CLOSE, 0, 0));
+            }
         }
         state.done = state.close_at.is_some_and(|c| r >= c);
 
@@ -523,6 +590,11 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                 tx.last_progress = r;
             }
             let boundary_cum = tx.sent.len() as u64;
+            if self.trace && retransmitted > 0 {
+                state
+                    .trace_log
+                    .push((r, TRACE_RETRANSMIT, u, retransmitted));
+            }
             state.retransmitted += retransmitted;
             state.fresh_sent += fresh;
             state.frames_sent += 1;

@@ -32,6 +32,7 @@ use mfd_congest::RoundMeter;
 use mfd_graph::Graph;
 use mfd_runtime::{run_on_clusters, ExecutorConfig};
 use mfd_sim::{SimConfig, Simulator};
+use mfd_trace::{Event, TraceSink};
 
 use crate::gather::{gather_to_leader, tree_gather, GatherReport, GatherStrategy};
 use crate::load_balance::load_balance_gather_with_plan;
@@ -90,7 +91,29 @@ pub trait GatherBackend: Sync {
         strategy: &GatherStrategy,
         meter: &mut RoundMeter,
     ) -> Vec<GatherReport> {
-        gather_all_sequential(self, g, jobs, f, strategy, meter)
+        self.gather_all_traced(g, jobs, f, strategy, meter, &mut ())
+    }
+
+    /// [`GatherBackend::gather_all`] with per-cluster observability: emits
+    /// one [`Event::ClusterRun`] per job (in job order) into `sink` with
+    /// that cluster's own rounds and messages — the per-cluster costs the
+    /// parallel fold otherwise collapses into a single max/sum.
+    ///
+    /// `&mut ()` is the no-op sink; `gather_all` is exactly that call.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GatherBackend::gather_all`].
+    fn gather_all_traced(
+        &self,
+        g: &Graph,
+        jobs: &[GatherJob],
+        f: f64,
+        strategy: &GatherStrategy,
+        meter: &mut RoundMeter,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<GatherReport> {
+        gather_all_sequential(self, g, jobs, f, strategy, meter, sink)
     }
 }
 
@@ -103,14 +126,20 @@ fn gather_all_sequential<B: GatherBackend + ?Sized>(
     f: f64,
     strategy: &GatherStrategy,
     meter: &mut RoundMeter,
+    sink: &mut dyn TraceSink,
 ) -> Vec<GatherReport> {
     let mut reports = Vec::with_capacity(jobs.len());
     let mut sub_meters: Vec<RoundMeter> = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    for (idx, job) in jobs.iter().enumerate() {
         let (sub, map) = g.induced_subgraph(&job.members);
         let leader_local = local_leader(&map, job.leader);
         let mut sm = RoundMeter::new();
         reports.push(backend.gather(&sub, leader_local, f, strategy, &mut sm));
+        sink.event(&Event::ClusterRun {
+            cluster: idx,
+            rounds: sm.rounds(),
+            messages: sm.messages(),
+        });
         sub_meters.push(sm);
     }
     meter.merge_parallel(sub_meters.iter());
@@ -315,18 +344,19 @@ impl GatherBackend for Executed {
         report
     }
 
-    fn gather_all(
+    fn gather_all_traced(
         &self,
         g: &Graph,
         jobs: &[GatherJob],
         f: f64,
         strategy: &GatherStrategy,
         meter: &mut RoundMeter,
+        sink: &mut dyn TraceSink,
     ) -> Vec<GatherReport> {
         let GatherEngine::Executor(config) = &self.engine else {
             // The event engine has no batched cluster runner; per-cluster
             // runs with parallel meter folding are equivalent.
-            return gather_all_sequential(self, g, jobs, f, strategy, meter);
+            return gather_all_sequential(self, g, jobs, f, strategy, meter, sink);
         };
         // Select once per cluster up front (planning is deterministic but
         // not free), then batch the heterogeneous programs through
@@ -356,6 +386,11 @@ impl GatherBackend for Executed {
                 run.cluster_rounds[idx],
                 run.cluster_messages[idx],
             );
+            sink.event(&Event::ClusterRun {
+                cluster: idx,
+                rounds: run.cluster_rounds[idx],
+                messages: run.cluster_messages[idx],
+            });
             self.check(
                 sub,
                 *leader_local,
@@ -486,7 +521,15 @@ mod tests {
         let mut batched_meter = RoundMeter::new();
         let batched = backend.gather_all(&g, &jobs, 0.1, &strategy, &mut batched_meter);
         let mut loop_meter = RoundMeter::new();
-        let looped = gather_all_sequential(&backend, &g, &jobs, 0.1, &strategy, &mut loop_meter);
+        let looped = gather_all_sequential(
+            &backend,
+            &g,
+            &jobs,
+            0.1,
+            &strategy,
+            &mut loop_meter,
+            &mut (),
+        );
         assert_eq!(batched.len(), 2);
         for (a, b) in batched.iter().zip(&looped) {
             assert_eq!(a.rounds, b.rounds);

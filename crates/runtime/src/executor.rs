@@ -4,6 +4,7 @@ use std::fmt;
 
 use mfd_congest::{CongestError, Message, RoundMeter};
 use mfd_graph::Graph;
+use mfd_trace::{EngineKind, Event, NullSink, RunObserver};
 use rayon::prelude::*;
 
 use crate::driver::{self, VertexRound};
@@ -132,16 +133,39 @@ impl Executor {
         g: &Graph,
         program: &P,
     ) -> Result<Execution<P::State>, RuntimeError> {
-        match &self.pool {
-            Some(pool) => pool.install(|| self.run_inner(g, program)),
-            None => self.run_inner(g, program),
-        }
+        self.run_traced(g, program, &mut NullSink)
     }
 
-    fn run_inner<P: NodeProgram>(
+    /// [`Executor::run`] with an observer receiving round/vertex events and
+    /// per-round state digests (see `mfd-trace`).
+    ///
+    /// With [`NullSink`] this *is* [`Executor::run`]: every hook site is
+    /// guarded by the monomorphized [`RunObserver::ENABLED`] constant, so the
+    /// disabled instantiation compiles to the untraced loop. Hooks fire only
+    /// at sequential commit points (never inside the parallel sweep), so the
+    /// event stream is deterministic in the thread count, like the run
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Executor::run`].
+    pub fn run_traced<P: NodeProgram, O: RunObserver<P::State>>(
         &self,
         g: &Graph,
         program: &P,
+        observer: &mut O,
+    ) -> Result<Execution<P::State>, RuntimeError> {
+        match &self.pool {
+            Some(pool) => pool.install(|| self.run_inner(g, program, observer)),
+            None => self.run_inner(g, program, observer),
+        }
+    }
+
+    fn run_inner<P: NodeProgram, O: RunObserver<P::State>>(
+        &self,
+        g: &Graph,
+        program: &P,
+        observer: &mut O,
     ) -> Result<Execution<P::State>, RuntimeError> {
         let n = g.n();
         let seed = self.config.seed;
@@ -161,6 +185,15 @@ impl Executor {
             .into_par_iter()
             .map(|v| program.halted(&ctx_at(v, 0), &states[v]))
             .collect();
+
+        // Round 0 is the initial configuration: digest every vertex once so
+        // two runs that differ already at init diverge at round 0, not 1.
+        if O::ENABLED {
+            for (v, state) in states.iter().enumerate() {
+                observer.vertex_state(EngineKind::Executor, 0, v, state);
+            }
+            observer.round_sealed(EngineKind::Executor, 0);
+        }
 
         // Double-buffered mailboxes: `inbox` is read this round, `next_inbox`
         // collects deliveries for the next one.
@@ -192,6 +225,13 @@ impl Executor {
             if round > max_rounds {
                 return Err(RuntimeError::RoundLimit { limit: max_rounds });
             }
+            if O::ENABLED {
+                observer.event(&Event::RoundOpen {
+                    engine: EngineKind::Executor,
+                    round,
+                    active: active.iter().filter(|&&a| a).count(),
+                });
+            }
             // Parallel vertex sweep over the active set. Skipped vertices
             // cost one quiescence check instead of an outbox and a program
             // call.
@@ -211,10 +251,8 @@ impl Executor {
                 .collect();
 
             // Commit results sequentially in vertex order: deterministic in
-            // the thread count by construction.
-            for mailbox in &mut inbox {
-                mailbox.clear();
-            }
+            // the thread count by construction. Inboxes stay readable until
+            // after the commit loop (the observer reports their sizes).
             let mut round_msgs: Vec<Message> = Vec::new();
             let mut send_violation: Option<CongestError> = None;
             for (v, out) in outs.into_iter().enumerate() {
@@ -230,6 +268,16 @@ impl Executor {
                     send_violation = Some(err);
                 }
                 halted[v] = now_halted;
+                if O::ENABLED {
+                    observer.event(&Event::VertexStep {
+                        engine: EngineKind::Executor,
+                        round,
+                        vertex: v,
+                        inbox: inbox[v].len(),
+                        sent: sends.len(),
+                    });
+                    observer.vertex_state(EngineKind::Executor, round, v, &states[v]);
+                }
                 for (dst, msg, words) in sends {
                     round_msgs.push(Message { src: v, dst, words });
                     next_inbox[dst].push(Envelope { src: v, msg });
@@ -239,6 +287,17 @@ impl Executor {
                 return Err(RuntimeError::Model(err));
             }
             meter.round(g, &round_msgs).map_err(RuntimeError::Model)?;
+            if O::ENABLED {
+                observer.event(&Event::RoundClose {
+                    engine: EngineKind::Executor,
+                    round,
+                    messages: meter.messages(),
+                });
+                observer.round_sealed(EngineKind::Executor, round);
+            }
+            for mailbox in &mut inbox {
+                mailbox.clear();
+            }
             std::mem::swap(&mut inbox, &mut next_inbox);
         }
 

@@ -38,6 +38,7 @@ use mfd_runtime::driver::{self, VertexRound};
 use mfd_runtime::{
     Envelope, Execution, Executor, ExecutorConfig, NodeCtx, NodeProgram, RuntimeError,
 };
+use mfd_trace::{EngineKind, Event, FateKind, NullSink, RunObserver};
 
 use crate::faults::{FaultHook, FaultOutcome, FaultedRun, MessageFate, NoFaults};
 use crate::latency::LatencyModel;
@@ -139,8 +140,28 @@ impl Simulator {
         g: &Graph,
         program: &P,
     ) -> Result<SimExecution<P::State>, RuntimeError> {
+        self.run_traced(g, program, &mut NullSink)
+    }
+
+    /// [`Simulator::run`] with an observer receiving dispatch/pulse events
+    /// and per-round state digests (see `mfd-trace`).
+    ///
+    /// With [`NullSink`] this *is* [`Simulator::run`]: every hook site is
+    /// guarded by the monomorphized [`RunObserver::ENABLED`] constant. The
+    /// engine is fully sequential, so the event stream is deterministic for
+    /// a given configuration, like the run itself.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    pub fn run_traced<P: NodeProgram, O: RunObserver<P::State>>(
+        &self,
+        g: &Graph,
+        program: &P,
+        observer: &mut O,
+    ) -> Result<SimExecution<P::State>, RuntimeError> {
         let adj = driver::sorted_adjacency(g);
-        let mut engine = Engine::new(g, program, &adj, &self.config, &NoFaults);
+        let mut engine = Engine::new(g, program, &adj, &self.config, &NoFaults, observer);
         engine.start()?;
         engine.drain()?;
         engine.finish().map(|(run, _)| run)
@@ -167,8 +188,25 @@ impl Simulator {
         program: &P,
         hook: &F,
     ) -> Result<FaultedRun<P::State>, RuntimeError> {
+        self.run_with_faults_traced(g, program, hook, &mut NullSink)
+    }
+
+    /// [`Simulator::run_with_faults`] with an observer: additionally emits
+    /// one [`Event::FaultFate`] per message the hook touched and one
+    /// [`Event::Crash`] per crash-stopped vertex.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run_with_faults`].
+    pub fn run_with_faults_traced<P: NodeProgram, F: FaultHook, O: RunObserver<P::State>>(
+        &self,
+        g: &Graph,
+        program: &P,
+        hook: &F,
+        observer: &mut O,
+    ) -> Result<FaultedRun<P::State>, RuntimeError> {
         let adj = driver::sorted_adjacency(g);
-        let mut engine = Engine::new(g, program, &adj, &self.config, hook);
+        let mut engine = Engine::new(g, program, &adj, &self.config, hook, observer);
         let outcome = match engine.start().and_then(|()| engine.drain()) {
             Ok(()) => FaultOutcome::Completed,
             Err(RuntimeError::RoundLimit { limit }) => FaultOutcome::Wedged { limit },
@@ -232,12 +270,13 @@ impl<M> VertexSim<M> {
     }
 }
 
-struct Engine<'a, P: NodeProgram, F: FaultHook> {
+struct Engine<'a, P: NodeProgram, F: FaultHook, O: RunObserver<P::State>> {
     g: &'a Graph,
     program: &'a P,
     adj: &'a [Vec<usize>],
     config: &'a SimConfig,
     hook: &'a F,
+    observer: &'a mut O,
     /// Effective round budget: the configured cap, tightened by the
     /// program's [`NodeProgram::round_budget_hint`].
     max_rounds: u64,
@@ -284,13 +323,14 @@ fn ekey(u: usize, v: usize) -> (usize, usize) {
     (u.min(v), u.max(v))
 }
 
-impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
+impl<'a, P: NodeProgram, F: FaultHook, O: RunObserver<P::State>> Engine<'a, P, F, O> {
     fn new(
         g: &'a Graph,
         program: &'a P,
         adj: &'a [Vec<usize>],
         config: &'a SimConfig,
         hook: &'a F,
+        observer: &'a mut O,
     ) -> Self {
         let n = g.n();
         let seed = config.seed;
@@ -320,12 +360,21 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
         if live > 0 {
             round_pop.insert(1, live);
         }
+        // Round 0 is the initial configuration, digested exactly as the
+        // synchronous engine digests it — the two chains share index 0.
+        if O::ENABLED {
+            for (v, state) in states.iter().enumerate() {
+                observer.vertex_state(EngineKind::Sim, 0, v, state);
+            }
+            observer.round_sealed(EngineKind::Sim, 0);
+        }
         Engine {
             g,
             program,
             adj,
             config,
             hook,
+            observer,
             max_rounds: config
                 .max_rounds
                 .min(program.round_budget_hint().unwrap_or(u64::MAX)),
@@ -430,8 +479,23 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
                 .round(self.g, &msgs)
                 .map_err(RuntimeError::Model)?;
             self.submitted += 1;
+            self.seal_submitted_round();
         }
         Ok(())
+    }
+
+    /// Observer bookkeeping for the most recently metered round: its message
+    /// bucket is final, so its digests can be folded.
+    fn seal_submitted_round(&mut self) {
+        if O::ENABLED {
+            let round = self.submitted as u64;
+            self.observer.event(&Event::RoundClose {
+                engine: EngineKind::Sim,
+                round,
+                messages: self.meter.messages(),
+            });
+            self.observer.round_sealed(EngineKind::Sim, round);
+        }
     }
 
     fn finish(mut self) -> Result<(SimExecution<P::State>, Vec<bool>), RuntimeError> {
@@ -441,6 +505,8 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
             self.meter
                 .round(self.g, &msgs)
                 .map_err(RuntimeError::Model)?;
+            self.submitted = i + 1;
+            self.seal_submitted_round();
         }
         let meter = self.meter;
         self.stats.payload_messages = meter.messages();
@@ -563,6 +629,13 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
         self.vx[v].crashed = true;
         self.vx[v].completion = now;
         self.stats.crashed_vertices += 1;
+        if O::ENABLED {
+            self.observer.event(&Event::Crash {
+                vertex: v,
+                round: r,
+                time: now,
+            });
+        }
         self.leave_round(v, r, true);
         let delay = self.hook.detection_delay().max(1);
         for i in 0..self.adj[v].len() {
@@ -670,6 +743,17 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
         if let Some(err) = out.violation {
             return Err(RuntimeError::Model(err));
         }
+        if O::ENABLED {
+            self.observer.event(&Event::VertexStep {
+                engine: EngineKind::Sim,
+                round: r,
+                vertex: v,
+                inbox: inbox.len(),
+                sent: out.sends.len(),
+            });
+            self.observer
+                .vertex_state(EngineKind::Sim, r, v, &self.states[v]);
+        }
 
         self.makespan = self.makespan.max(now);
         if self.per_round.len() < r as usize {
@@ -689,7 +773,24 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
             let index = *counter;
             *counter += 1;
             let entry = by_nbr.entry(dst).or_default();
-            match self.hook.message_fate(seed, v, dst, r, index) {
+            let fate = self.hook.message_fate(seed, v, dst, r, index);
+            if O::ENABLED {
+                let kind = match fate {
+                    MessageFate::Deliver => None,
+                    MessageFate::Drop => Some(FateKind::Drop),
+                    MessageFate::Duplicate { .. } => Some(FateKind::Duplicate),
+                    MessageFate::Slip { .. } => Some(FateKind::Slip),
+                };
+                if let Some(fate) = kind {
+                    self.observer.event(&Event::FaultFate {
+                        src: v,
+                        dst,
+                        round: r,
+                        fate,
+                    });
+                }
+            }
+            match fate {
                 MessageFate::Deliver => entry.push((msg, words, 0)),
                 MessageFate::Drop => self.stats.lost_messages += 1,
                 MessageFate::Duplicate { slip } => {
@@ -734,6 +835,15 @@ impl<'a, P: NodeProgram, F: FaultHook> Engine<'a, P, F> {
             .latency
             .sample(self.config.seed, packet.src, packet.dst, packet.tag)
             .max(1);
+        if O::ENABLED {
+            self.observer.event(&Event::Pulse {
+                time: now,
+                src: packet.src,
+                dst: packet.dst,
+                payload: packet.payload.len(),
+                halt: packet.halt,
+            });
+        }
         self.stats.packets += 1;
         if packet.payload.is_empty() {
             self.stats.pure_pulses += 1;

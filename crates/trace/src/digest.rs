@@ -1,0 +1,179 @@
+//! [`DigestSink`]: a per-round journal of the whole network's state.
+
+use std::collections::BTreeMap;
+
+use crate::{fnv1a_fold, EngineKind, TraceSink, FNV_OFFSET};
+
+/// Journals one digest per sealed round covering the state of *every*
+/// vertex, chained on the previous round's digest.
+///
+/// # The carry-forward model
+///
+/// The two engines touch different vertex subsets per round: the executor
+/// skips quiescent vertices, the event engine executes every live vertex,
+/// and with skewed latencies vertices cross a given round at different
+/// virtual times. The sink therefore keeps a *current* digest per vertex,
+/// updates it whenever the engine reports that vertex's state for the round
+/// being sealed, and folds the **full** current vector — touched or not —
+/// when the round seals. An untouched vertex contributes its carried-forward
+/// digest, which is exactly its unchanged state; so two engines that agree
+/// on the states agree on every round digest, regardless of which vertices
+/// they bothered to execute.
+///
+/// Each round's folded digest is then chained onto the running head
+/// (`head' = fold(head, round_digest)`), giving the prefix property the
+/// [`crate::divergence`] search needs: equal heads at round `r` ⇒ equal
+/// state history through `r`.
+///
+/// One sink instance journals one run (the engine tag is recorded from the
+/// first seal; feeding two engines into one instance is a usage error and
+/// panics).
+#[derive(Debug, Default)]
+pub struct DigestSink {
+    /// `(round, chain head after that round)` in seal order.
+    pub heads: Vec<(u64, u64)>,
+    engine: Option<EngineKind>,
+    current: Vec<u64>,
+    pending: BTreeMap<u64, Vec<(usize, u64)>>,
+    snapshots: bool,
+    /// Per-round copies of the per-vertex digest vector (only with
+    /// [`DigestSink::with_snapshots`]), aligned with
+    /// [`DigestSink::heads`].
+    pub snapshot_log: Vec<Vec<u64>>,
+}
+
+impl DigestSink {
+    /// A sink journaling chain heads only.
+    pub fn new() -> Self {
+        DigestSink::default()
+    }
+
+    /// Also keep each round's full per-vertex digest vector, so a divergence
+    /// can be localized to vertices with [`DigestSink::diverging_vertices`].
+    pub fn with_snapshots() -> Self {
+        DigestSink {
+            snapshots: true,
+            ..DigestSink::default()
+        }
+    }
+
+    /// The chain head after the last sealed round (the run's digest), or the
+    /// FNV offset basis for an empty run.
+    pub fn head(&self) -> u64 {
+        self.heads.last().map_or(FNV_OFFSET, |&(_, head)| head)
+    }
+
+    /// The head sequence alone, in seal order — the input to
+    /// [`crate::first_divergence`].
+    pub fn chain(&self) -> Vec<u64> {
+        self.heads.iter().map(|&(_, head)| head).collect()
+    }
+
+    /// Vertices whose digests differ between two runs' snapshot logs at
+    /// sealed-round index `index` (requires both sinks built
+    /// [`DigestSink::with_snapshots`]). Vertices present in only one run
+    /// count as diverging.
+    pub fn diverging_vertices(a: &DigestSink, b: &DigestSink, index: usize) -> Vec<usize> {
+        let (sa, sb) = (&a.snapshot_log[index], &b.snapshot_log[index]);
+        let n = sa.len().max(sb.len());
+        (0..n).filter(|&v| sa.get(v) != sb.get(v)).collect()
+    }
+}
+
+impl TraceSink for DigestSink {
+    fn wants_digests(&self) -> bool {
+        true
+    }
+
+    fn vertex_digest(&mut self, engine: EngineKind, round: u64, vertex: usize, digest: u64) {
+        assert_eq!(
+            *self.engine.get_or_insert(engine),
+            engine,
+            "one DigestSink journals one run"
+        );
+        self.pending
+            .entry(round)
+            .or_default()
+            .push((vertex, digest));
+    }
+
+    fn round_sealed(&mut self, engine: EngineKind, round: u64) {
+        assert_eq!(
+            *self.engine.get_or_insert(engine),
+            engine,
+            "one DigestSink journals one run"
+        );
+        // Engines seal in increasing round order; fold every pending round
+        // up to and including this one (a round with no touched vertices
+        // still seals, carrying every digest forward).
+        let stale: Vec<u64> = self.pending.range(..=round).map(|(&r, _)| r).collect();
+        for r in stale {
+            if let Some(mut touched) = self.pending.remove(&r) {
+                touched.sort_unstable();
+                for (vertex, digest) in touched {
+                    if vertex >= self.current.len() {
+                        self.current.resize(vertex + 1, 0);
+                    }
+                    self.current[vertex] = digest;
+                }
+            }
+        }
+        let round_digest = self
+            .current
+            .iter()
+            .fold(FNV_OFFSET, |acc, &d| fnv1a_fold(acc, d));
+        let head = fnv1a_fold(self.head(), round_digest);
+        self.heads.push((round, head));
+        if self.snapshots {
+            self.snapshot_log.push(self.current.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sink: &mut DigestSink, round: u64, digests: &[(usize, u64)]) {
+        for &(v, d) in digests {
+            sink.vertex_digest(EngineKind::Executor, round, v, d);
+        }
+        sink.round_sealed(EngineKind::Executor, round);
+    }
+
+    #[test]
+    fn carry_forward_makes_partial_rounds_comparable() {
+        // Run A touches both vertices every round; run B (a quiescence-
+        // skipping engine) only reports the vertex that changed. Same
+        // states => same chain.
+        let mut a = DigestSink::new();
+        feed(&mut a, 0, &[(0, 10), (1, 20)]);
+        feed(&mut a, 1, &[(0, 11), (1, 20)]);
+        let mut b = DigestSink::new();
+        feed(&mut b, 0, &[(0, 10), (1, 20)]);
+        feed(&mut b, 1, &[(0, 11)]); // vertex 1 untouched: carried forward
+        assert_eq!(a.chain(), b.chain());
+        assert_eq!(a.head(), b.head());
+    }
+
+    #[test]
+    fn chains_discriminate_and_localize() {
+        let mut a = DigestSink::with_snapshots();
+        feed(&mut a, 0, &[(0, 10), (1, 20)]);
+        feed(&mut a, 1, &[(0, 11), (1, 21)]);
+        let mut b = DigestSink::with_snapshots();
+        feed(&mut b, 0, &[(0, 10), (1, 20)]);
+        feed(&mut b, 1, &[(0, 11), (1, 99)]);
+        assert_eq!(a.heads[0], b.heads[0]);
+        assert_ne!(a.heads[1].1, b.heads[1].1);
+        assert_eq!(DigestSink::diverging_vertices(&a, &b, 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one DigestSink journals one run")]
+    fn mixing_engines_panics() {
+        let mut s = DigestSink::new();
+        s.vertex_digest(EngineKind::Executor, 0, 0, 1);
+        s.vertex_digest(EngineKind::Sim, 0, 1, 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Locating the first round where two runs part ways.
+
+/// Index of the first differing entry between two digest-chain head
+/// sequences ([`crate::DigestSink::chain`]), or `None` when one is a prefix
+/// of the other and the common part agrees (same-length identical chains
+/// included).
+///
+/// Because each head chains on all previous rounds, equality at index `i`
+/// implies the runs agreed on the whole state history through `i`, and a
+/// difference persists forever after — the predicate "chains differ at `i`"
+/// is monotone in `i`. That makes the first difference binary-searchable:
+/// O(log r) comparisons instead of a scan, which is what makes divergence
+/// hunting on long runs cheap. (A trailing length mismatch with an agreeing
+/// common prefix is *not* a state divergence — one run simply took more
+/// rounds, e.g. a round-limit wedge — so it reports `None`; callers compare
+/// lengths when they care.)
+pub fn first_divergence(a: &[u64], b: &[u64]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    // partition_point over the monotone predicate "prefix through i agrees".
+    let agree = |i: usize| a[i] == b[i];
+    if n == 0 || agree(n - 1) {
+        return None;
+    }
+    let mut lo = 0; // invariant: all indices < lo agree
+    let mut hi = n - 1; // invariant: hi disagrees
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if agree(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a chain that diverges at `at` (entries are running-chain-like:
+    /// once different, always different).
+    fn chains(len: usize, at: usize) -> (Vec<u64>, Vec<u64>) {
+        let a: Vec<u64> = (0..len as u64).collect();
+        let b: Vec<u64> = (0..len as u64)
+            .map(|i| if (i as usize) < at { i } else { i + 1000 })
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn finds_exact_divergence_round() {
+        for len in [1usize, 2, 3, 7, 64, 100] {
+            for at in 0..len {
+                let (a, b) = chains(len, at);
+                assert_eq!(first_divergence(&a, &b), Some(at), "len {len} at {at}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_and_prefix_chains_report_none() {
+        let a: Vec<u64> = (0..50).collect();
+        assert_eq!(first_divergence(&a, &a), None);
+        assert_eq!(first_divergence(&a, &a[..20]), None);
+        assert_eq!(first_divergence(&[], &a), None);
+        assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn divergence_inside_the_shorter_chain_is_found() {
+        let (a, b) = chains(40, 5);
+        assert_eq!(first_divergence(&a, &b[..10]), Some(5));
+    }
+}

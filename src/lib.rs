@@ -13,6 +13,8 @@
 //! * [`faults`] — fault models (loss, duplication, reordering, crash-stop),
 //!   the `Reliable<P>` recovery adapter, and the gather-under-faults /
 //!   leader re-election experiments.
+//! * [`trace`] — the observability layer: trace sinks, deterministic
+//!   metrics, JSON-lines logs, round digests and divergence search.
 //! * [`apps`] — applications (MIS, matching, cover, cut, testing).
 //! * [`bench`](mod@bench) — benchmark workloads, table formatting, and the
 //!   JSON tooling behind the CI regression gate.
@@ -26,3 +28,4 @@ pub use mfd_graph as graph;
 pub use mfd_routing as routing;
 pub use mfd_runtime as runtime;
 pub use mfd_sim as sim;
+pub use mfd_trace as trace;
