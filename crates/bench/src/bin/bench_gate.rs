@@ -33,14 +33,16 @@ const RETRANSMIT_TOLERANCE: f64 = 1.25;
 /// metric lives in `[0, 1]`).
 const DELIVERED_SLACK: f64 = 0.05;
 
-/// The gated metrics of one series. `delivered` and `retransmits` are gated
-/// only where the series reports them (the gather and faults schemas).
+/// The gated metrics of one series. `delivered`, `retransmits` and
+/// `checkpoint_bytes` are gated only where the series reports them (the
+/// gather, faults and replay schemas).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Metrics {
     rounds: f64,
     messages: f64,
     delivered: Option<f64>,
     retransmits: Option<f64>,
+    checkpoint_bytes: Option<f64>,
 }
 
 fn main() -> ExitCode {
@@ -151,6 +153,15 @@ fn main() -> ExitCode {
                         failures += 1;
                     }
                 }
+                if let (Some(was), Some(is)) = (base.checkpoint_bytes, now.checkpoint_bytes) {
+                    if is > was * TOLERANCE {
+                        eprintln!(
+                            "FAIL {key}: checkpoint_bytes regressed {was} -> {is} (> {:.0}%)",
+                            (TOLERANCE - 1.0) * 100.0
+                        );
+                        failures += 1;
+                    }
+                }
             }
         }
     }
@@ -185,7 +196,7 @@ fn main() -> ExitCode {
 /// semantic property of the protocol, so a flip changes the series key and
 /// fails the gate loudly as a disappeared series instead of sliding under a
 /// numeric tolerance.
-const METRIC_FIELDS: [&str; 10] = [
+const METRIC_FIELDS: [&str; 12] = [
     "rounds",
     "messages",
     "makespan",
@@ -196,6 +207,8 @@ const METRIC_FIELDS: [&str; 10] = [
     "spans",
     "cluster_rounds_max",
     "cluster_messages",
+    "checkpoint_bytes",
+    "rounds_replayed",
 ];
 
 /// Reads one `BENCH_*.json` file and folds its series into `out`, keyed by
@@ -247,6 +260,7 @@ fn collect_series(
             // Optional per-schema metrics: absent or null means ungated.
             delivered: obj.get("delivered").and_then(Value::as_num),
             retransmits: obj.get("retransmits").and_then(Value::as_num),
+            checkpoint_bytes: obj.get("checkpoint_bytes").and_then(Value::as_num),
         };
         if out.insert(key.clone(), metrics).is_some() {
             return Err(format!("duplicate series key '{key}'"));
@@ -277,6 +291,7 @@ fn load_baselines(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
                 messages: metric("messages")?,
                 delivered: value.get("delivered").and_then(Value::as_num),
                 retransmits: value.get("retransmits").and_then(Value::as_num),
+                checkpoint_bytes: value.get("checkpoint_bytes").and_then(Value::as_num),
             },
         );
     }
@@ -294,6 +309,9 @@ fn render_baselines(series: &BTreeMap<String, Metrics>) -> String {
             }
             if let Some(x) = m.retransmits {
                 fields.push_str(&format!(", \"retransmits\": {x}"));
+            }
+            if let Some(x) = m.checkpoint_bytes {
+                fields.push_str(&format!(", \"checkpoint_bytes\": {x}"));
             }
             format!("    \"{key}\": {{{fields}}}")
         })

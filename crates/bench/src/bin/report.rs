@@ -45,7 +45,7 @@ use mfd_trace::{DigestSink, MetricsSink, Tee};
 /// Every section the report can regenerate, in print order. `--section`
 /// arguments are validated against this list, and `--list-sections` prints
 /// it, so CI job definitions can't silently reference a renamed section.
-const SECTIONS: [&str; 17] = [
+const SECTIONS: [&str; 18] = [
     "table1",
     "scaling_n",
     "scaling_eps",
@@ -63,6 +63,7 @@ const SECTIONS: [&str; 17] = [
     "faults",
     "edt",
     "trace",
+    "replay",
 ];
 
 fn main() {
@@ -144,6 +145,9 @@ fn main() {
     }
     if want("trace") {
         trace_report();
+    }
+    if want("replay") {
+        replay_report();
     }
 }
 
@@ -1517,5 +1521,208 @@ fn trace_report() {
     );
     let path = "BENCH_trace.json";
     std::fs::write(path, json).expect("write BENCH_trace.json");
+    println!("wrote {path} ({} series)", rows.len());
+}
+
+/// One replay-surface measurement destined for `BENCH_replay.json`: a
+/// journaled probe run on an acceptance family under one engine
+/// configuration, resumed from its middle checkpoint — the resumed digest
+/// chain is asserted equal to the uninterrupted run's chain round for round
+/// **before** a byte of JSON is written, so a resume-equality regression
+/// fails the report instead of shipping a stale-looking series.
+struct ReplayRow {
+    graph: String,
+    n: usize,
+    engine: &'static str,
+    faults: &'static str,
+    every: u64,
+    checkpoint_round: u64,
+    rounds: u64,
+    messages: u64,
+    /// Snapshot-codec payload bytes of the checkpoint the resume restored.
+    checkpoint_bytes: u64,
+    /// Rounds the resumed engine re-executed after the restore.
+    rounds_replayed: u64,
+    /// Digest-chain head over all sealed rounds (hex) — equal between the
+    /// uninterrupted and resumed runs by the in-process assertion.
+    head: String,
+}
+
+impl ReplayRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"engine\":\"{}\",\"faults\":\"{}\",\"every\":{},\
+             \"checkpoint_round\":{},\"rounds\":{},\"messages\":{},\"checkpoint_bytes\":{},\
+             \"rounds_replayed\":{},\"head\":\"{}\"}}",
+            self.graph,
+            self.n,
+            self.engine,
+            self.faults,
+            self.every,
+            self.checkpoint_round,
+            self.rounds,
+            self.messages,
+            self.checkpoint_bytes,
+            self.rounds_replayed,
+            self.head
+        )
+    }
+}
+
+/// R6 — replay surface: checkpoint journals and bit-identical resume on
+/// every acceptance family, across the synchronous executor, the event
+/// engine at unit and skewed latency, and the faulted
+/// `Reliable<probe>`-under-loss configuration.
+fn replay_report() {
+    use mfd_bench::replay::{
+        executor_journal, faulted_journal, resume_executor, resume_faulted, resume_sim, sim_journal,
+    };
+    use mfd_bench::trace::DivergenceProbe;
+
+    const EVERY: u64 = 4;
+    const ROUNDS: u64 = 16;
+    let cfg = ExecutorConfig::default();
+    let probe = DivergenceProbe::clean(ROUNDS);
+    let mut rows: Vec<ReplayRow> = Vec::new();
+
+    // The checkpoint every resume restores: the journal's middle one, so
+    // rounds_replayed measures a genuine suffix re-execution.
+    fn mid(journal: &mfd_replay::Journal) -> &mfd_replay::JournalCheckpoint {
+        &journal.checkpoints[journal.checkpoints.len() / 2]
+    }
+
+    for (name, g) in &mfd_bench::acceptance_families() {
+        let full = executor_journal(g, &probe, &cfg, EVERY, name).expect("probe runs");
+        let cp = mid(&full.journal);
+        let resumed = resume_executor(&full.journal, cp.round, g, &probe, &cfg).expect("resumes");
+        assert_eq!(
+            resumed.sink.chain(),
+            full.sink.chain(),
+            "{name}/executor: resumed chain must equal the uninterrupted chain"
+        );
+        assert_eq!(resumed.run.states, full.run.states);
+        rows.push(ReplayRow {
+            graph: name.to_string(),
+            n: g.n(),
+            engine: "executor",
+            faults: "none",
+            every: EVERY,
+            checkpoint_round: cp.round,
+            rounds: full.run.rounds,
+            messages: full.run.messages,
+            checkpoint_bytes: cp.payload.len() as u64,
+            rounds_replayed: resumed.rounds_replayed,
+            head: format!("{:016x}", full.sink.head()),
+        });
+
+        for (engine, latency) in [
+            ("sim-fixed-1", LatencyModel::Fixed(1)),
+            ("sim-skewed", LatencyModel::Uniform { lo: 1, hi: 3 }),
+        ] {
+            let full =
+                sim_journal(g, &probe, &cfg, latency.clone(), EVERY, name).expect("probe runs");
+            let cp = mid(&full.journal);
+            let resumed =
+                resume_sim(&full.journal, cp.round, g, &probe, &cfg, latency).expect("resumes");
+            assert_eq!(
+                resumed.sink.chain(),
+                full.sink.chain(),
+                "{name}/{engine}: resumed chain must equal the uninterrupted chain"
+            );
+            assert_eq!(resumed.run.states, full.run.states);
+            assert_eq!(resumed.run.makespan, full.run.makespan);
+            rows.push(ReplayRow {
+                graph: name.to_string(),
+                n: g.n(),
+                engine,
+                faults: "none",
+                every: EVERY,
+                checkpoint_round: cp.round,
+                rounds: full.run.rounds,
+                messages: full.run.messages,
+                checkpoint_bytes: cp.payload.len() as u64,
+                rounds_replayed: resumed.rounds_replayed,
+                head: format!("{:016x}", full.sink.head()),
+            });
+        }
+
+        // The acceptance configuration: the probe under ARQ reliable
+        // delivery with i.i.d. loss — checkpoints carry full transport
+        // state, and the resume must meet the same fate sequence.
+        let wrapped = Reliable::new(DivergenceProbe::clean(ROUNDS));
+        let model = FaultModel::iid_loss(0.2);
+        let latency = LatencyModel::Uniform { lo: 1, hi: 3 };
+        let full = faulted_journal(g, &wrapped, &model, &cfg, latency.clone(), EVERY, name)
+            .expect("probe runs");
+        assert!(
+            matches!(full.run.outcome, mfd_sim::FaultOutcome::Completed),
+            "{name}/faulted: the acceptance run must complete under 0.2 loss"
+        );
+        let cp = mid(&full.journal);
+        let resumed = resume_faulted(&full.journal, cp.round, g, &wrapped, &model, &cfg, latency)
+            .expect("resumes");
+        assert_eq!(
+            resumed.sink.chain(),
+            full.sink.chain(),
+            "{name}/faulted: resumed chain must equal the uninterrupted chain"
+        );
+        assert_eq!(
+            Reliable::inner_states(&resumed.run.run.states),
+            Reliable::inner_states(&full.run.run.states)
+        );
+        rows.push(ReplayRow {
+            graph: name.to_string(),
+            n: g.n(),
+            engine: "sim-skewed",
+            faults: "iid-loss-0.2+reliable",
+            every: EVERY,
+            checkpoint_round: cp.round,
+            rounds: full.run.run.rounds,
+            messages: full.run.run.messages,
+            checkpoint_bytes: cp.payload.len() as u64,
+            rounds_replayed: resumed.rounds_replayed,
+            head: format!("{:016x}", full.sink.head()),
+        });
+    }
+
+    let mut table = Table::new(
+        "R6 — replay surface: checkpoint journal sizes and bit-identical resume \
+         (every row's resumed chain asserted equal to the uninterrupted run's)",
+        &[
+            "graph",
+            "engine",
+            "faults",
+            "ckpt@",
+            "rounds",
+            "messages",
+            "ckpt bytes",
+            "replayed",
+            "head",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.graph.clone(),
+            r.engine.to_string(),
+            r.faults.to_string(),
+            r.checkpoint_round.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            r.checkpoint_bytes.to_string(),
+            r.rounds_replayed.to_string(),
+            r.head.clone(),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/replay/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(ReplayRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_replay.json";
+    std::fs::write(path, json).expect("write BENCH_replay.json");
     println!("wrote {path} ({} series)", rows.len());
 }

@@ -10,6 +10,7 @@ use mfd_graph::{generators, Graph};
 use mfd_routing::walks::WalkParams;
 
 pub mod json;
+pub mod replay;
 pub mod trace;
 
 /// The gather acceptance families — the fixed `(name, graph)` set every

@@ -1,0 +1,331 @@
+//! Shared plumbing for the replay surface: journaled runs of the
+//! [`DivergenceProbe`](crate::trace::DivergenceProbe) family and
+//! journal-driven resumes, used by the `replay` bin, the
+//! `report --section replay` rows and the repo-level integration tests. One
+//! definition, so the CI-gated resume-equality assertions and the test
+//! suite exercise the same machinery.
+//!
+//! Every function here pairs a run with its [`Journal`]: the runners journal
+//! while running (a checkpoint every `every` sealed rounds, each stamped
+//! with the digest head at its round), the resumers decode the nearest
+//! checkpoint at-or-below a target round, restore the digest sink alongside
+//! the engine state, and continue — the continued chain extends the
+//! journal's chain seamlessly, which the callers assert round-for-round.
+
+use mfd_graph::Graph;
+use mfd_replay::{Journal, JournalError, JournalHeader, Snapshot};
+use mfd_runtime::{ExecCheckpoint, Execution, Executor, ExecutorConfig, NodeProgram, RuntimeError};
+use mfd_sim::{FaultHook, FaultedRun, LatencyModel, SimCheckpoint, SimConfig, Simulator};
+use mfd_trace::{DigestSink, EngineKind};
+
+/// A journal paired with the digest sink that wrote it — the sink holds the
+/// full chain for round-for-round comparisons.
+pub struct JournaledRun<R> {
+    /// The sealed journal (checkpoints + chain, already verified).
+    pub journal: Journal,
+    /// The digest sink after the run.
+    pub sink: DigestSink,
+    /// The engine's result.
+    pub run: R,
+}
+
+fn header(engine: EngineKind, g: &Graph, seed: u64, every: u64, label: &str) -> JournalHeader {
+    JournalHeader {
+        engine,
+        n: g.n() as u64,
+        seed,
+        every,
+        label: label.to_string(),
+    }
+}
+
+/// Runs `program` on the synchronous executor, journaling the digest chain
+/// and a checkpoint every `every` rounds.
+///
+/// # Errors
+///
+/// Propagates the engine failure.
+pub fn executor_journal<P>(
+    g: &Graph,
+    program: &P,
+    config: &ExecutorConfig,
+    every: u64,
+    label: &str,
+) -> Result<JournaledRun<Execution<P::State>>, RuntimeError>
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash + Clone,
+    ExecCheckpoint<P::State, P::Msg>: Snapshot,
+{
+    let mut sink = DigestSink::new();
+    let mut journal = Journal::new(header(EngineKind::Executor, g, config.seed, every, label));
+    let run = Executor::new(config.clone()).run_checkpointed(
+        g,
+        program,
+        &mut sink,
+        every,
+        &mut |cp, sink| journal.record(cp.round, sink, &cp),
+    )?;
+    journal
+        .seal(&sink)
+        .expect("a freshly journaled run coheres");
+    Ok(JournaledRun { journal, sink, run })
+}
+
+/// Runs `program` on the event engine under `latency` (configuration matched
+/// to `config`), journaling the digest chain and periodic checkpoints.
+///
+/// # Errors
+///
+/// Propagates the engine failure.
+pub fn sim_journal<P>(
+    g: &Graph,
+    program: &P,
+    config: &ExecutorConfig,
+    latency: LatencyModel,
+    every: u64,
+    label: &str,
+) -> Result<JournaledRun<mfd_sim::SimExecution<P::State>>, RuntimeError>
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash + Clone,
+    SimCheckpoint<P::State, P::Msg>: Snapshot,
+{
+    let mut sink = DigestSink::new();
+    let mut journal = Journal::new(header(EngineKind::Sim, g, config.seed, every, label));
+    let run = Simulator::new(SimConfig::matching(config, latency)).run_checkpointed(
+        g,
+        program,
+        &mut sink,
+        every,
+        &mut |cp, sink| journal.record(cp.round, sink, &cp),
+    )?;
+    journal
+        .seal(&sink)
+        .expect("a freshly journaled run coheres");
+    Ok(JournaledRun { journal, sink, run })
+}
+
+/// The faulted counterpart of [`sim_journal`]: runs under `hook` (loss,
+/// duplication, slips, crashes), journaling exactly the same way. Wedged
+/// runs still journal the rounds they sealed.
+///
+/// # Errors
+///
+/// Propagates the engine failure (a wedge is an outcome, not an error).
+pub fn faulted_journal<P, F>(
+    g: &Graph,
+    program: &P,
+    hook: &F,
+    config: &ExecutorConfig,
+    latency: LatencyModel,
+    every: u64,
+    label: &str,
+) -> Result<JournaledRun<FaultedRun<P::State>>, RuntimeError>
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash + Clone,
+    F: FaultHook,
+    SimCheckpoint<P::State, P::Msg>: Snapshot,
+{
+    let mut sink = DigestSink::new();
+    let mut journal = Journal::new(header(EngineKind::Sim, g, config.seed, every, label));
+    let run = Simulator::new(SimConfig::matching(config, latency)).run_with_faults_checkpointed(
+        g,
+        program,
+        hook,
+        &mut sink,
+        every,
+        &mut |cp, sink| journal.record(cp.round, sink, &cp),
+    )?;
+    journal
+        .seal(&sink)
+        .expect("a freshly journaled run coheres");
+    Ok(JournaledRun { journal, sink, run })
+}
+
+/// A resume continued from a journal's checkpoint.
+pub struct Resumed<R> {
+    /// The checkpoint round the resume started from.
+    pub from_round: u64,
+    /// Rounds the resumed engine re-executed (sealed after the restore).
+    pub rounds_replayed: u64,
+    /// The continued digest sink: its chain must equal the original run's,
+    /// round for round — asserted by every caller.
+    pub sink: DigestSink,
+    /// The engine's result.
+    pub run: R,
+}
+
+/// Resumes an executor run from the journal's nearest checkpoint at-or-below
+/// `at`, continuing the digest chain from the restored sink.
+///
+/// # Errors
+///
+/// [`JournalError`] when no checkpoint exists at-or-below `at` or the
+/// payload does not decode as an executor checkpoint.
+///
+/// # Panics
+///
+/// If the engine fails (the journaled run succeeded, so a resume on the
+/// same inputs cannot fail).
+pub fn resume_executor<P>(
+    journal: &Journal,
+    at: u64,
+    g: &Graph,
+    program: &P,
+    config: &ExecutorConfig,
+) -> Result<Resumed<Execution<P::State>>, JournalError>
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash + Clone,
+    ExecCheckpoint<P::State, P::Msg>: Snapshot,
+{
+    let cp = journal.checkpoint_at(at).ok_or(JournalError::Malformed {
+        what: "no checkpoint at or below the requested round",
+    })?;
+    let restored: ExecCheckpoint<P::State, P::Msg> = journal.decode_checkpoint(cp)?;
+    let from_round = restored.round;
+    let mut sink = Journal::restore_sink(cp);
+    let run = Executor::new(config.clone())
+        .resume_traced(g, program, restored, &mut sink)
+        .expect("resuming a journaled run on its own inputs cannot fail");
+    Ok(Resumed {
+        from_round,
+        rounds_replayed: (sink.heads.len() as u64).saturating_sub(from_round + 1),
+        sink,
+        run,
+    })
+}
+
+/// Resumes a (fault-free) event-engine run from the journal's nearest
+/// checkpoint at-or-below `at`.
+///
+/// # Errors
+///
+/// As [`resume_executor`].
+///
+/// # Panics
+///
+/// As [`resume_executor`].
+pub fn resume_sim<P>(
+    journal: &Journal,
+    at: u64,
+    g: &Graph,
+    program: &P,
+    config: &ExecutorConfig,
+    latency: LatencyModel,
+) -> Result<Resumed<mfd_sim::SimExecution<P::State>>, JournalError>
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash + Clone,
+    SimCheckpoint<P::State, P::Msg>: Snapshot,
+{
+    let cp = journal.checkpoint_at(at).ok_or(JournalError::Malformed {
+        what: "no checkpoint at or below the requested round",
+    })?;
+    let restored: SimCheckpoint<P::State, P::Msg> = journal.decode_checkpoint(cp)?;
+    let from_round = restored.round;
+    let mut sink = Journal::restore_sink(cp);
+    let run = Simulator::new(SimConfig::matching(config, latency))
+        .resume_traced(g, program, restored, &mut sink)
+        .expect("resuming a journaled run on its own inputs cannot fail");
+    Ok(Resumed {
+        from_round,
+        rounds_replayed: (sink.heads.len() as u64).saturating_sub(from_round + 1),
+        sink,
+        run,
+    })
+}
+
+/// Resumes a faulted event-engine run from the journal's nearest checkpoint
+/// at-or-below `at`, under the same `hook` — fates are pure in
+/// `(seed, edge, round, index)`, so the continuation meets the same fate
+/// sequence.
+///
+/// # Errors
+///
+/// As [`resume_executor`].
+///
+/// # Panics
+///
+/// As [`resume_executor`].
+pub fn resume_faulted<P, F>(
+    journal: &Journal,
+    at: u64,
+    g: &Graph,
+    program: &P,
+    hook: &F,
+    config: &ExecutorConfig,
+    latency: LatencyModel,
+) -> Result<Resumed<FaultedRun<P::State>>, JournalError>
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash + Clone,
+    F: FaultHook,
+    SimCheckpoint<P::State, P::Msg>: Snapshot,
+{
+    let cp = journal.checkpoint_at(at).ok_or(JournalError::Malformed {
+        what: "no checkpoint at or below the requested round",
+    })?;
+    let restored: SimCheckpoint<P::State, P::Msg> = journal.decode_checkpoint(cp)?;
+    let from_round = restored.round;
+    let mut sink = Journal::restore_sink(cp);
+    let run = Simulator::new(SimConfig::matching(config, latency))
+        .resume_with_faults_traced(g, program, hook, restored, &mut sink)
+        .expect("resuming a journaled run on its own inputs cannot fail");
+    Ok(Resumed {
+        from_round,
+        rounds_replayed: (sink.heads.len() as u64).saturating_sub(from_round + 1),
+        sink,
+        run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DivergenceProbe;
+    use mfd_graph::generators;
+
+    #[test]
+    fn journaled_resume_extends_the_chain_on_both_engines() {
+        let g = generators::wheel(16);
+        let cfg = ExecutorConfig::default();
+        let probe = DivergenceProbe::clean(10);
+
+        let full = executor_journal(&g, &probe, &cfg, 3, "wheel-16/probe").unwrap();
+        assert!(!full.journal.checkpoints.is_empty());
+        for cp in &full.journal.checkpoints {
+            let resumed = resume_executor(&full.journal, cp.round, &g, &probe, &cfg).unwrap();
+            assert_eq!(resumed.from_round, cp.round);
+            assert_eq!(resumed.sink.chain(), full.sink.chain());
+            assert_eq!(resumed.run.states, full.run.states);
+        }
+
+        let full = sim_journal(
+            &g,
+            &probe,
+            &cfg,
+            LatencyModel::Uniform { lo: 1, hi: 3 },
+            3,
+            "wheel-16/probe",
+        )
+        .unwrap();
+        assert!(!full.journal.checkpoints.is_empty());
+        for cp in &full.journal.checkpoints {
+            let resumed = resume_sim(
+                &full.journal,
+                cp.round,
+                &g,
+                &probe,
+                &cfg,
+                LatencyModel::Uniform { lo: 1, hi: 3 },
+            )
+            .unwrap();
+            assert_eq!(resumed.sink.chain(), full.sink.chain());
+            assert_eq!(resumed.run.states, full.run.states);
+            assert_eq!(resumed.run.makespan, full.run.makespan);
+        }
+    }
+}

@@ -52,5 +52,5 @@
 pub mod meter;
 pub mod primitives;
 
-pub use meter::{CongestError, Message, RoundMeter};
+pub use meter::{CongestError, Message, MeterParts, RoundMeter};
 pub use primitives::BfsTree;

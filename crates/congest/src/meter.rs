@@ -71,6 +71,30 @@ pub struct PhaseRecord {
     pub messages: u64,
 }
 
+/// A plain-data capture of a [`RoundMeter`]'s complete accumulator state.
+///
+/// Every field a meter owns, exposed for checkpoint/resume: `mfd-replay`
+/// encodes a `MeterParts` into its journal and
+/// [`RoundMeter::from_parts`] rebuilds a meter that continues accounting
+/// exactly where the captured one stopped — `to_parts` → `from_parts` is
+/// the identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeterParts {
+    /// Total rounds accumulated.
+    pub rounds: u64,
+    /// Total messages accumulated.
+    pub messages: u64,
+    /// Per-edge per-round capacity in words.
+    pub capacity_words: usize,
+    /// Largest per-edge load (in words) observed in any single round.
+    pub max_words_on_edge: usize,
+    /// Completed phase records.
+    pub phases: Vec<PhaseRecord>,
+    /// An open phase, if one is active: `(name, rounds, messages)` at
+    /// [`RoundMeter::start_phase`] time.
+    pub phase_start: Option<(String, u64, u64)>,
+}
+
 /// The accounting object for a CONGEST execution.
 ///
 /// A `RoundMeter` tracks the number of synchronous rounds and messages used by an
@@ -276,6 +300,34 @@ impl RoundMeter {
     pub fn phases(&self) -> &[PhaseRecord] {
         &self.phases
     }
+
+    /// Captures the meter's complete state as plain data (see
+    /// [`MeterParts`]).
+    pub fn to_parts(&self) -> MeterParts {
+        MeterParts {
+            rounds: self.rounds,
+            messages: self.messages,
+            capacity_words: self.capacity_words,
+            max_words_on_edge: self.max_words_on_edge,
+            phases: self.phases.clone(),
+            phase_start: self.phase_start.clone(),
+        }
+    }
+
+    /// Rebuilds a meter from captured parts; the exact inverse of
+    /// [`RoundMeter::to_parts`]. The capacity clamp of
+    /// [`RoundMeter::with_capacity`] is *not* re-applied: parts round-trip
+    /// verbatim.
+    pub fn from_parts(parts: MeterParts) -> Self {
+        RoundMeter {
+            rounds: parts.rounds,
+            messages: parts.messages,
+            capacity_words: parts.capacity_words,
+            max_words_on_edge: parts.max_words_on_edge,
+            phases: parts.phases,
+            phase_start: parts.phase_start,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +514,35 @@ mod tests {
             let mut recorder = RoundMeter::new();
             assert_eq!(verdict, recorder.round(&g, msgs));
         }
+    }
+
+    #[test]
+    fn parts_round_trip_is_the_identity() {
+        let g = generators::path(4);
+        let mut meter = RoundMeter::with_capacity(3);
+        meter.start_phase("first");
+        meter
+            .round(&g, &[Message::word(0, 1), Message::word(1, 2)])
+            .unwrap();
+        meter.end_phase();
+        meter.start_phase("open"); // left open: phase_start must survive too
+        meter.charge_rounds(2);
+        meter.charge_messages(5);
+
+        let parts = meter.to_parts();
+        let mut restored = RoundMeter::from_parts(parts.clone());
+        assert_eq!(restored.to_parts(), parts);
+
+        // The restored meter continues accounting exactly where the
+        // original stopped — including closing the phase left open.
+        meter.round(&g, &[Message::word(2, 3)]).unwrap();
+        meter.end_phase();
+        restored.round(&g, &[Message::word(2, 3)]).unwrap();
+        restored.end_phase();
+        assert_eq!(restored.rounds(), meter.rounds());
+        assert_eq!(restored.messages(), meter.messages());
+        assert_eq!(restored.max_words_on_edge(), meter.max_words_on_edge());
+        assert_eq!(restored.phases(), meter.phases());
     }
 
     #[test]

@@ -46,4 +46,6 @@ pub use experiments::{
     crash_and_regather, gather_raw, gather_recovered, CrashRegather, FaultImpact,
 };
 pub use models::{FaultModel, LossModel};
-pub use reliable::{Frame, Reliable, ReliableState, ReliableStats};
+pub use reliable::{
+    EdgeRxParts, EdgeTxParts, Frame, Reliable, ReliableParts, ReliableState, ReliableStats,
+};

@@ -90,6 +90,7 @@ impl<M: RuntimeMessage> RuntimeMessage for Frame<M> {
 }
 
 /// Per-edge sender state.
+#[derive(Clone, Hash)]
 struct EdgeTx<M> {
     /// Every message ever queued on this edge: `sent[seq] = (round, msg)`.
     sent: Vec<(u64, M)>,
@@ -102,6 +103,7 @@ struct EdgeTx<M> {
 }
 
 /// Per-edge receiver state.
+#[derive(Clone, Hash)]
 struct EdgeRx<M> {
     /// Received, not yet delivered: `seq -> (inner round, msg)`.
     pending: BTreeMap<u64, (u64, M)>,
@@ -154,6 +156,222 @@ pub struct ReliableState<P: NodeProgram> {
     /// [`TRACE_RETRANSMIT`], [`TRACE_EXCUSE`], [`TRACE_CLOSE`]. Drained into
     /// a sink by [`Reliable::drain_trace`].
     trace_log: Vec<(u64, u8, usize, u64)>,
+}
+
+impl<P: NodeProgram> Clone for ReliableState<P>
+where
+    P::State: Clone,
+{
+    fn clone(&self) -> Self {
+        ReliableState {
+            inner: self.inner.clone(),
+            inner_round: self.inner_round,
+            inner_halted: self.inner_halted,
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+            close_at: self.close_at,
+            done: self.done,
+            frames_sent: self.frames_sent,
+            payload_frames: self.payload_frames,
+            fresh_sent: self.fresh_sent,
+            retransmitted: self.retransmitted,
+            delivered_inner: self.delivered_inner,
+            peers_excused: self.peers_excused,
+            trace_log: self.trace_log.clone(),
+        }
+    }
+}
+
+/// Digest-traceability: a [`ReliableState`] hashes every field — the inner
+/// program's state *and* the full transport machinery — so digest chains
+/// over wrapped runs discriminate transport-level divergence too, not just
+/// the inner trajectory. Checkpoint/resume equality is therefore the strong
+/// claim: the resumed run matches ARQ-state-for-ARQ-state.
+impl<P: NodeProgram> std::hash::Hash for ReliableState<P>
+where
+    P::State: std::hash::Hash,
+    P::Msg: std::hash::Hash,
+{
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+        self.inner_round.hash(state);
+        self.inner_halted.hash(state);
+        self.tx.hash(state);
+        self.rx.hash(state);
+        self.close_at.hash(state);
+        self.done.hash(state);
+        self.frames_sent.hash(state);
+        self.payload_frames.hash(state);
+        self.fresh_sent.hash(state);
+        self.retransmitted.hash(state);
+        self.delivered_inner.hash(state);
+        self.peers_excused.hash(state);
+        self.trace_log.hash(state);
+    }
+}
+
+/// One edge's send window as plain data (every field public), one leg of
+/// [`ReliableState::to_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeTxParts<M> {
+    /// Every message ever queued on this edge: `sent[seq] = (round, msg)`.
+    pub sent: Vec<(u64, M)>,
+    /// Peer's cumulative in-order ack.
+    pub acked: u64,
+    /// First never-transmitted sequence number.
+    pub tx_next: u64,
+    /// Physical round of the last ack advance.
+    pub last_progress: u64,
+}
+
+/// One edge's receive window as plain data, one leg of
+/// [`ReliableState::to_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeRxParts<M> {
+    /// Received-but-undelivered messages, `(seq, (inner round, msg))`,
+    /// sorted by sequence number (the canonical order of the underlying
+    /// B-tree, so equal states encode to equal bytes).
+    pub pending: Vec<(u64, (u64, M))>,
+    /// Sequence numbers `0..prefix` have all been received.
+    pub prefix: u64,
+    /// Sequence numbers `0..delivered` were handed to the inner program.
+    pub delivered: u64,
+    /// Peer's announced boundary.
+    pub peer_round: u64,
+    /// Cumulative count at that boundary.
+    pub peer_cum: u64,
+    /// Peer announced its boundary as final.
+    pub peer_fin: bool,
+    /// Last physical round a frame arrived (0 = never).
+    pub last_heard: u64,
+    /// Peer presumed crash-stopped.
+    pub dead: bool,
+}
+
+/// A [`ReliableState`] as plain data — every private transport field made
+/// public, maps flattened to sorted vectors — so checkpoint codecs
+/// (`mfd-replay`) outside this crate can encode and rebuild it.
+/// [`ReliableState::from_parts`] ∘ [`ReliableState::to_parts`] is the
+/// identity on run behavior: a resumed run continues exactly as the
+/// original would have.
+pub struct ReliableParts<P: NodeProgram> {
+    /// The wrapped program's state.
+    pub inner: P::State,
+    /// Completed inner rounds.
+    pub inner_round: u64,
+    /// Whether the wrapped program has halted.
+    pub inner_halted: bool,
+    /// Per-edge sender state, in sorted-adjacency slot order.
+    pub tx: Vec<EdgeTxParts<P::Msg>>,
+    /// Per-edge receiver state, in sorted-adjacency slot order.
+    pub rx: Vec<EdgeRxParts<P::Msg>>,
+    /// Physical round at which the linger close expires.
+    pub close_at: Option<u64>,
+    /// The close handshake finished; the vertex halts.
+    pub done: bool,
+    /// Frames sent.
+    pub frames_sent: u64,
+    /// Frames that carried payload.
+    pub payload_frames: u64,
+    /// First-time payload transmissions.
+    pub fresh_sent: u64,
+    /// Retransmitted payload entries.
+    pub retransmitted: u64,
+    /// Messages handed to the inner program.
+    pub delivered_inner: u64,
+    /// Neighbors excused as crash-stopped.
+    pub peers_excused: u64,
+    /// Recorded transport events (`(round, kind, peer, count)`).
+    pub trace_log: Vec<(u64, u8, usize, u64)>,
+}
+
+impl<P: NodeProgram> ReliableState<P> {
+    /// Captures this vertex's complete transport state as plain data.
+    pub fn to_parts(&self) -> ReliableParts<P>
+    where
+        P::State: Clone,
+    {
+        ReliableParts {
+            inner: self.inner.clone(),
+            inner_round: self.inner_round,
+            inner_halted: self.inner_halted,
+            tx: self
+                .tx
+                .iter()
+                .map(|t| EdgeTxParts {
+                    sent: t.sent.clone(),
+                    acked: t.acked,
+                    tx_next: t.tx_next,
+                    last_progress: t.last_progress,
+                })
+                .collect(),
+            rx: self
+                .rx
+                .iter()
+                .map(|x| EdgeRxParts {
+                    pending: x.pending.iter().map(|(&s, p)| (s, p.clone())).collect(),
+                    prefix: x.prefix,
+                    delivered: x.delivered,
+                    peer_round: x.peer_round,
+                    peer_cum: x.peer_cum,
+                    peer_fin: x.peer_fin,
+                    last_heard: x.last_heard,
+                    dead: x.dead,
+                })
+                .collect(),
+            close_at: self.close_at,
+            done: self.done,
+            frames_sent: self.frames_sent,
+            payload_frames: self.payload_frames,
+            fresh_sent: self.fresh_sent,
+            retransmitted: self.retransmitted,
+            delivered_inner: self.delivered_inner,
+            peers_excused: self.peers_excused,
+            trace_log: self.trace_log.clone(),
+        }
+    }
+
+    /// Rebuilds the transport state captured by [`ReliableState::to_parts`].
+    pub fn from_parts(parts: ReliableParts<P>) -> Self {
+        ReliableState {
+            inner: parts.inner,
+            inner_round: parts.inner_round,
+            inner_halted: parts.inner_halted,
+            tx: parts
+                .tx
+                .into_iter()
+                .map(|t| EdgeTx {
+                    sent: t.sent,
+                    acked: t.acked,
+                    tx_next: t.tx_next,
+                    last_progress: t.last_progress,
+                })
+                .collect(),
+            rx: parts
+                .rx
+                .into_iter()
+                .map(|x| EdgeRx {
+                    pending: x.pending.into_iter().collect(),
+                    prefix: x.prefix,
+                    delivered: x.delivered,
+                    peer_round: x.peer_round,
+                    peer_cum: x.peer_cum,
+                    peer_fin: x.peer_fin,
+                    last_heard: x.last_heard,
+                    dead: x.dead,
+                })
+                .collect(),
+            close_at: parts.close_at,
+            done: parts.done,
+            frames_sent: parts.frames_sent,
+            payload_frames: parts.payload_frames,
+            fresh_sent: parts.fresh_sent,
+            retransmitted: parts.retransmitted,
+            delivered_inner: parts.delivered_inner,
+            peers_excused: parts.peers_excused,
+            trace_log: parts.trace_log,
+        }
+    }
 }
 
 /// [`ReliableState::trace_log`] kind: a timeout retransmission burst.
@@ -831,6 +1049,63 @@ mod tests {
             .run(&g, &Reliable::new(Chatter))
             .unwrap();
         assert_eq!(Reliable::<Chatter>::stats(&run.states).excused, 0);
+    }
+
+    #[test]
+    fn checkpointed_faulted_reliable_run_resumes_bit_identically() {
+        // The acceptance configuration of the checkpoint/replay layer: a
+        // wrapped program under i.i.d. loss, checkpointed mid-repair, must
+        // resume onto the same fate sequence and land in the same states.
+        let g = generators::wheel(12);
+        let model = FaultModel::iid_loss(0.25);
+        let sim = Simulator::new(SimConfig::default());
+        let program = Reliable::new(Chatter);
+
+        let mut checkpoints = Vec::new();
+        let full = sim
+            .run_with_faults_checkpointed(
+                &g,
+                &program,
+                &model,
+                &mut mfd_trace::NullSink,
+                3,
+                &mut |cp, _| checkpoints.push(cp),
+            )
+            .unwrap();
+        assert_eq!(full.outcome, FaultOutcome::Completed);
+        assert!(
+            Reliable::<Chatter>::stats(&full.run.states).retransmitted > 0,
+            "loss never fired; the test exercises nothing"
+        );
+        assert!(checkpoints.len() >= 2, "run too short to checkpoint");
+
+        for cp in checkpoints {
+            // Exercise the public parts API exactly as an external codec
+            // would: flatten every vertex state to plain data and rebuild.
+            let mut cp = cp;
+            cp.states = cp
+                .states
+                .iter()
+                .map(|s| ReliableState::from_parts(s.to_parts()))
+                .collect();
+            let resumed = sim.resume_with_faults(&g, &program, &model, cp).unwrap();
+            assert_eq!(resumed.outcome, full.outcome);
+            assert_eq!(resumed.run.rounds, full.run.rounds);
+            assert_eq!(resumed.run.messages, full.run.messages);
+            assert_eq!(resumed.run.makespan, full.run.makespan);
+            assert_eq!(
+                resumed.run.stats.lost_messages,
+                full.run.stats.lost_messages
+            );
+            assert_eq!(
+                Reliable::<Chatter>::stats(&resumed.run.states),
+                Reliable::<Chatter>::stats(&full.run.states)
+            );
+            assert_eq!(
+                Reliable::<Chatter>::inner_states_cloned(&resumed.run.states),
+                Reliable::<Chatter>::inner_states_cloned(&full.run.states)
+            );
+        }
     }
 
     #[test]

@@ -2,13 +2,36 @@
 
 use std::fmt;
 
-use mfd_congest::{CongestError, Message, RoundMeter};
+use mfd_congest::{CongestError, Message, MeterParts, RoundMeter};
 use mfd_graph::Graph;
 use mfd_trace::{EngineKind, Event, NullSink, RunObserver};
 use rayon::prelude::*;
 
 use crate::driver::{self, VertexRound};
 use crate::program::{Envelope, NodeCtx, NodeProgram};
+
+/// The executor's complete loop state at a round boundary, as plain data.
+///
+/// Captured by [`Executor::run_checkpointed`] after round `round` seals and
+/// consumed by [`Executor::resume`], whose continued run is bit-identical to
+/// the uninterrupted one: the loop state is exactly `(states, halted, inbox,
+/// meter, round)` — per-vertex RNG streams are stateless (re-derived from
+/// `(seed, vertex, round)`), so there is no RNG position to store.
+#[derive(Debug, Clone)]
+pub struct ExecCheckpoint<S, M> {
+    /// Rounds sealed when the checkpoint was taken (`meter.rounds`); the
+    /// next executed round is `round + 1`.
+    pub round: u64,
+    /// Every vertex's state after round `round`.
+    pub states: Vec<S>,
+    /// Every vertex's halted flag after round `round`.
+    pub halted: Vec<bool>,
+    /// The mail readable in round `round + 1`, per destination vertex, in
+    /// the committed (vertex-order-deterministic) delivery order.
+    pub inbox: Vec<Vec<Envelope<M>>>,
+    /// The meter's accumulator state, including open phases.
+    pub meter: MeterParts,
+}
 
 /// Configuration for an [`Executor`].
 #[derive(Debug, Clone)]
@@ -155,35 +178,203 @@ impl Executor {
         program: &P,
         observer: &mut O,
     ) -> Result<Execution<P::State>, RuntimeError> {
-        match &self.pool {
-            Some(pool) => pool.install(|| self.run_inner(g, program, observer)),
-            None => self.run_inner(g, program, observer),
-        }
+        self.install(|| {
+            let mut engine = ExecEngine::fresh(&self.config, g, program, observer);
+            engine.drive()?;
+            Ok(engine.finish())
+        })
     }
 
-    fn run_inner<P: NodeProgram, O: RunObserver<P::State>>(
+    /// Continues a run from a checkpoint captured by
+    /// [`Executor::run_checkpointed`] until all vertices halt.
+    ///
+    /// The continued run is **bit-identical** to the uninterrupted one — the
+    /// checkpoint is the executor's complete loop state and the per-vertex
+    /// RNG streams are stateless — provided `g`, `program` and this
+    /// executor's configuration match the run that captured the checkpoint.
+    /// The round budget keeps counting total rounds, not rounds since the
+    /// resume.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Executor::run`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex count does not match `g`.
+    pub fn resume<P: NodeProgram>(
+        &self,
+        g: &Graph,
+        program: &P,
+        checkpoint: ExecCheckpoint<P::State, P::Msg>,
+    ) -> Result<Execution<P::State>, RuntimeError> {
+        self.resume_traced(g, program, checkpoint, &mut NullSink)
+    }
+
+    /// [`Executor::resume`] with an observer. Round 0 is *not* re-sealed and
+    /// already-executed rounds are not replayed: the observer sees exactly
+    /// the events of rounds `checkpoint.round + 1..`. To continue a digest
+    /// chain across the resume, restore the sink's state alongside (see
+    /// `mfd_trace::DigestSink::export`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Executor::run`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex count does not match `g`.
+    pub fn resume_traced<P: NodeProgram, O: RunObserver<P::State>>(
+        &self,
+        g: &Graph,
+        program: &P,
+        checkpoint: ExecCheckpoint<P::State, P::Msg>,
+        observer: &mut O,
+    ) -> Result<Execution<P::State>, RuntimeError> {
+        self.install(|| {
+            let mut engine = ExecEngine::restored(&self.config, g, program, observer, checkpoint);
+            engine.drive()?;
+            Ok(engine.finish())
+        })
+    }
+
+    /// [`Executor::run_traced`] that additionally hands a full-state
+    /// [`ExecCheckpoint`] to `capture` every `every` sealed rounds (at rounds
+    /// `every, 2·every, …`; `every` is clamped to at least 1). The observer
+    /// is passed to `capture` by shared reference at the exact capture
+    /// instant, so a journal can stamp each checkpoint with the digest head
+    /// at its round.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Executor::run`].
+    pub fn run_checkpointed<P, O, C>(
         &self,
         g: &Graph,
         program: &P,
         observer: &mut O,
-    ) -> Result<Execution<P::State>, RuntimeError> {
-        let n = g.n();
-        let seed = self.config.seed;
-        let max_rounds = self
-            .config
+        every: u64,
+        capture: &mut C,
+    ) -> Result<Execution<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        P::State: Clone,
+        O: RunObserver<P::State>,
+        C: FnMut(ExecCheckpoint<P::State, P::Msg>, &O),
+    {
+        let every = every.max(1);
+        self.install(|| {
+            let mut engine = ExecEngine::fresh(&self.config, g, program, observer);
+            while let Stepped::Sealed(round) = engine.step()? {
+                if round % every == 0 {
+                    capture(engine.checkpoint(), engine.observer());
+                }
+            }
+            Ok(engine.finish())
+        })
+    }
+
+    /// [`Executor::resume_traced`] with checkpoint capture — continues from
+    /// `checkpoint` and hands out fresh checkpoints on the same
+    /// round-multiple cadence as [`Executor::run_checkpointed`]. This is the
+    /// time-travel primitive: restore the nearest journaled checkpoint below
+    /// a target round, then step forward capturing every round.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Executor::run`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex count does not match `g`.
+    pub fn resume_checkpointed<P, O, C>(
+        &self,
+        g: &Graph,
+        program: &P,
+        checkpoint: ExecCheckpoint<P::State, P::Msg>,
+        observer: &mut O,
+        every: u64,
+        capture: &mut C,
+    ) -> Result<Execution<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        P::State: Clone,
+        O: RunObserver<P::State>,
+        C: FnMut(ExecCheckpoint<P::State, P::Msg>, &O),
+    {
+        let every = every.max(1);
+        self.install(|| {
+            let mut engine = ExecEngine::restored(&self.config, g, program, observer, checkpoint);
+            while let Stepped::Sealed(round) = engine.step()? {
+                if round % every == 0 {
+                    capture(engine.checkpoint(), engine.observer());
+                }
+            }
+            Ok(engine.finish())
+        })
+    }
+
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+}
+
+/// One [`ExecEngine::step`] outcome.
+enum Stepped {
+    /// A round executed and sealed (its number).
+    Sealed(u64),
+    /// All vertices halted or the active set was empty (fixpoint): the run
+    /// is over, nothing executed.
+    Done,
+}
+
+/// The executor's loop state, factored out of the run methods so a run can
+/// be started fresh, restored from an [`ExecCheckpoint`], and stepped one
+/// round at a time (the checkpoint capture points).
+struct ExecEngine<'a, P: NodeProgram, O> {
+    g: &'a Graph,
+    program: &'a P,
+    observer: &'a mut O,
+    n: usize,
+    seed: u64,
+    max_rounds: u64,
+    sorted_adj: Vec<Vec<usize>>,
+    states: Vec<P::State>,
+    halted: Vec<bool>,
+    // Double-buffered mailboxes: `inbox` is read this round, `next_inbox`
+    // collects deliveries for the next one.
+    inbox: Vec<Vec<Envelope<P::Msg>>>,
+    next_inbox: Vec<Vec<Envelope<P::Msg>>>,
+    meter: RoundMeter,
+    round: u64,
+}
+
+impl<'a, P, O> ExecEngine<'a, P, O>
+where
+    P: NodeProgram,
+    O: RunObserver<P::State>,
+{
+    fn budget(config: &ExecutorConfig, program: &P) -> u64 {
+        config
             .max_rounds
-            .min(program.round_budget_hint().unwrap_or(u64::MAX));
+            .min(program.round_budget_hint().unwrap_or(u64::MAX))
+    }
+
+    /// Initializes a run at round 0 and seals the initial configuration.
+    fn fresh(config: &ExecutorConfig, g: &'a Graph, program: &'a P, observer: &'a mut O) -> Self {
+        let n = g.n();
+        let seed = config.seed;
         let sorted_adj = driver::sorted_adjacency(g);
-
-        let ctx_at = |v: usize, round: u64| NodeCtx::new(v, n, round, &sorted_adj[v], seed);
-
-        let mut states: Vec<P::State> = (0..n)
+        let states: Vec<P::State> = (0..n)
             .into_par_iter()
-            .map(|v| program.init(&ctx_at(v, 0)))
+            .map(|v| program.init(&NodeCtx::new(v, n, 0, &sorted_adj[v], seed)))
             .collect();
-        let mut halted: Vec<bool> = (0..n)
+        let halted: Vec<bool> = (0..n)
             .into_par_iter()
-            .map(|v| program.halted(&ctx_at(v, 0), &states[v]))
+            .map(|v| program.halted(&NodeCtx::new(v, n, 0, &sorted_adj[v], seed), &states[v]))
             .collect();
 
         // Round 0 is the initial configuration: digest every vertex once so
@@ -195,118 +386,206 @@ impl Executor {
             observer.round_sealed(EngineKind::Executor, 0);
         }
 
-        // Double-buffered mailboxes: `inbox` is read this round, `next_inbox`
-        // collects deliveries for the next one.
-        let mut inbox: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut next_inbox: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-
-        let mut meter = RoundMeter::with_capacity(self.config.capacity_words);
-        let mut round: u64 = 0;
-        while !halted.iter().all(|&h| h) {
-            round += 1;
-            // The round's active set: every non-halted vertex with something
-            // to read, or one whose program wants the round regardless
-            // (non-quiescent). An empty active set is a fixpoint — nothing in
-            // flight, no state can ever change — and ends the run *before*
-            // the round-budget check: a run whose work fit the budget must
-            // not fail merely because detecting the fixpoint takes one more
-            // loop iteration.
-            let active: Vec<bool> = (0..n)
-                .into_par_iter()
-                .map(|v| {
-                    !halted[v]
-                        && (!inbox[v].is_empty()
-                            || !program.quiescent(&ctx_at(v, round), &states[v]))
-                })
-                .collect();
-            if !active.iter().any(|&a| a) {
-                break;
-            }
-            if round > max_rounds {
-                return Err(RuntimeError::RoundLimit { limit: max_rounds });
-            }
-            if O::ENABLED {
-                observer.event(&Event::RoundOpen {
-                    engine: EngineKind::Executor,
-                    round,
-                    active: active.iter().filter(|&&a| a).count(),
-                });
-            }
-            // Parallel vertex sweep over the active set. Skipped vertices
-            // cost one quiescence check instead of an outbox and a program
-            // call.
-            let active_ref = &active;
-            let inbox_ref = &inbox;
-            let adj = &sorted_adj;
-            let outs: Vec<Option<VertexRound<P::Msg>>> = states
-                .par_iter_mut()
-                .enumerate()
-                .map(|(v, state)| {
-                    if !active_ref[v] {
-                        return None;
-                    }
-                    let ctx = NodeCtx::new(v, n, round, &adj[v], seed);
-                    Some(driver::step_vertex(program, &ctx, state, &inbox_ref[v]))
-                })
-                .collect();
-
-            // Commit results sequentially in vertex order: deterministic in
-            // the thread count by construction. Inboxes stay readable until
-            // after the commit loop (the observer reports their sizes).
-            let mut round_msgs: Vec<Message> = Vec::new();
-            let mut send_violation: Option<CongestError> = None;
-            for (v, out) in outs.into_iter().enumerate() {
-                let Some(VertexRound {
-                    sends,
-                    halted: now_halted,
-                    violation,
-                }) = out
-                else {
-                    continue;
-                };
-                if let (None, Some(err)) = (&send_violation, violation) {
-                    send_violation = Some(err);
-                }
-                halted[v] = now_halted;
-                if O::ENABLED {
-                    observer.event(&Event::VertexStep {
-                        engine: EngineKind::Executor,
-                        round,
-                        vertex: v,
-                        inbox: inbox[v].len(),
-                        sent: sends.len(),
-                    });
-                    observer.vertex_state(EngineKind::Executor, round, v, &states[v]);
-                }
-                for (dst, msg, words) in sends {
-                    round_msgs.push(Message { src: v, dst, words });
-                    next_inbox[dst].push(Envelope { src: v, msg });
-                }
-            }
-            if let Some(err) = send_violation {
-                return Err(RuntimeError::Model(err));
-            }
-            meter.round(g, &round_msgs).map_err(RuntimeError::Model)?;
-            if O::ENABLED {
-                observer.event(&Event::RoundClose {
-                    engine: EngineKind::Executor,
-                    round,
-                    messages: meter.messages(),
-                });
-                observer.round_sealed(EngineKind::Executor, round);
-            }
-            for mailbox in &mut inbox {
-                mailbox.clear();
-            }
-            std::mem::swap(&mut inbox, &mut next_inbox);
-        }
-
-        Ok(Execution {
-            rounds: meter.rounds(),
-            messages: meter.messages(),
+        ExecEngine {
+            g,
+            program,
+            observer,
+            n,
+            seed,
+            max_rounds: Self::budget(config, program),
+            sorted_adj,
             states,
-            meter,
-        })
+            halted,
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            next_inbox: (0..n).map(|_| Vec::new()).collect(),
+            meter: RoundMeter::with_capacity(config.capacity_words),
+            round: 0,
+        }
+    }
+
+    /// Rebuilds the loop state from a checkpoint: no `init`, no round-0
+    /// seal — the next executed round is `checkpoint.round + 1`.
+    fn restored(
+        config: &ExecutorConfig,
+        g: &'a Graph,
+        program: &'a P,
+        observer: &'a mut O,
+        checkpoint: ExecCheckpoint<P::State, P::Msg>,
+    ) -> Self {
+        let n = g.n();
+        assert_eq!(
+            checkpoint.states.len(),
+            n,
+            "checkpoint was captured on a graph with {} vertices, not {n}",
+            checkpoint.states.len()
+        );
+        ExecEngine {
+            g,
+            program,
+            observer,
+            n,
+            seed: config.seed,
+            max_rounds: Self::budget(config, program),
+            sorted_adj: driver::sorted_adjacency(g),
+            states: checkpoint.states,
+            halted: checkpoint.halted,
+            inbox: checkpoint.inbox,
+            next_inbox: (0..n).map(|_| Vec::new()).collect(),
+            meter: RoundMeter::from_parts(checkpoint.meter),
+            round: checkpoint.round,
+        }
+    }
+
+    /// Captures the complete loop state (valid only at a round boundary,
+    /// which is the only time the caller can observe the engine).
+    fn checkpoint(&self) -> ExecCheckpoint<P::State, P::Msg>
+    where
+        P::State: Clone,
+    {
+        ExecCheckpoint {
+            round: self.round,
+            states: self.states.clone(),
+            halted: self.halted.clone(),
+            inbox: self.inbox.clone(),
+            meter: self.meter.to_parts(),
+        }
+    }
+
+    fn observer(&self) -> &O {
+        &*self.observer
+    }
+
+    /// Runs rounds until the program is done.
+    fn drive(&mut self) -> Result<(), RuntimeError> {
+        while let Stepped::Sealed(_) = self.step()? {}
+        Ok(())
+    }
+
+    /// Executes one full round (active-set scan, parallel sweep, sequential
+    /// commit, meter validation, seal, mailbox swap) or reports the run
+    /// finished.
+    fn step(&mut self) -> Result<Stepped, RuntimeError> {
+        if self.halted.iter().all(|&h| h) {
+            return Ok(Stepped::Done);
+        }
+        let round = self.round + 1;
+        let (n, seed) = (self.n, self.seed);
+        let program = self.program;
+        // The round's active set: every non-halted vertex with something
+        // to read, or one whose program wants the round regardless
+        // (non-quiescent). An empty active set is a fixpoint — nothing in
+        // flight, no state can ever change — and ends the run *before*
+        // the round-budget check: a run whose work fit the budget must
+        // not fail merely because detecting the fixpoint takes one more
+        // loop iteration.
+        let halted = &self.halted;
+        let inbox_ref = &self.inbox;
+        let states_ref = &self.states;
+        let adj = &self.sorted_adj;
+        let active: Vec<bool> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                !halted[v]
+                    && (!inbox_ref[v].is_empty()
+                        || !program
+                            .quiescent(&NodeCtx::new(v, n, round, &adj[v], seed), &states_ref[v]))
+            })
+            .collect();
+        if !active.iter().any(|&a| a) {
+            return Ok(Stepped::Done);
+        }
+        self.round = round;
+        if round > self.max_rounds {
+            return Err(RuntimeError::RoundLimit {
+                limit: self.max_rounds,
+            });
+        }
+        if O::ENABLED {
+            self.observer.event(&Event::RoundOpen {
+                engine: EngineKind::Executor,
+                round,
+                active: active.iter().filter(|&&a| a).count(),
+            });
+        }
+        // Parallel vertex sweep over the active set. Skipped vertices
+        // cost one quiescence check instead of an outbox and a program
+        // call.
+        let active_ref = &active;
+        let outs: Vec<Option<VertexRound<P::Msg>>> = self
+            .states
+            .par_iter_mut()
+            .enumerate()
+            .map(|(v, state)| {
+                if !active_ref[v] {
+                    return None;
+                }
+                let ctx = NodeCtx::new(v, n, round, &adj[v], seed);
+                Some(driver::step_vertex(program, &ctx, state, &inbox_ref[v]))
+            })
+            .collect();
+
+        // Commit results sequentially in vertex order: deterministic in
+        // the thread count by construction. Inboxes stay readable until
+        // after the commit loop (the observer reports their sizes).
+        let mut round_msgs: Vec<Message> = Vec::new();
+        let mut send_violation: Option<CongestError> = None;
+        for (v, out) in outs.into_iter().enumerate() {
+            let Some(VertexRound {
+                sends,
+                halted: now_halted,
+                violation,
+            }) = out
+            else {
+                continue;
+            };
+            if let (None, Some(err)) = (&send_violation, violation) {
+                send_violation = Some(err);
+            }
+            self.halted[v] = now_halted;
+            if O::ENABLED {
+                self.observer.event(&Event::VertexStep {
+                    engine: EngineKind::Executor,
+                    round,
+                    vertex: v,
+                    inbox: self.inbox[v].len(),
+                    sent: sends.len(),
+                });
+                self.observer
+                    .vertex_state(EngineKind::Executor, round, v, &self.states[v]);
+            }
+            for (dst, msg, words) in sends {
+                round_msgs.push(Message { src: v, dst, words });
+                self.next_inbox[dst].push(Envelope { src: v, msg });
+            }
+        }
+        if let Some(err) = send_violation {
+            return Err(RuntimeError::Model(err));
+        }
+        self.meter
+            .round(self.g, &round_msgs)
+            .map_err(RuntimeError::Model)?;
+        if O::ENABLED {
+            self.observer.event(&Event::RoundClose {
+                engine: EngineKind::Executor,
+                round,
+                messages: self.meter.messages(),
+            });
+            self.observer.round_sealed(EngineKind::Executor, round);
+        }
+        for mailbox in &mut self.inbox {
+            mailbox.clear();
+        }
+        std::mem::swap(&mut self.inbox, &mut self.next_inbox);
+        Ok(Stepped::Sealed(round))
+    }
+
+    fn finish(self) -> Execution<P::State> {
+        Execution {
+            rounds: self.meter.rounds(),
+            messages: self.meter.messages(),
+            states: self.states,
+            meter: self.meter,
+        }
     }
 }
 
@@ -630,6 +909,98 @@ mod tests {
         });
         let run = exec.run(&g, &Wave { frontier: true }).unwrap();
         assert_eq!(run.rounds, 4);
+    }
+
+    /// Broadcasts a folded accumulator (Clone state, so checkpointable).
+    struct Mixer {
+        rounds: u64,
+    }
+
+    impl NodeProgram for Mixer {
+        type State = u64;
+        type Msg = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> u64 {
+            ctx.id as u64
+        }
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut u64,
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            for env in inbox {
+                *state = state.wrapping_mul(31).wrapping_add(env.msg);
+            }
+            *state = state.wrapping_add(ctx.rng().next_u64());
+            if ctx.round < self.rounds {
+                out.broadcast(*state);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &u64) -> bool {
+            ctx.round >= self.rounds
+        }
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_matches_the_uninterrupted_run() {
+        let g = generators::triangulated_grid(6, 6);
+        let exec = Executor::new(ExecutorConfig::default());
+        let program = Mixer { rounds: 9 };
+        let full = exec.run(&g, &program).unwrap();
+
+        let mut checkpoints = Vec::new();
+        let run = exec
+            .run_checkpointed(&g, &program, &mut NullSink, 2, &mut |cp, _| {
+                checkpoints.push(cp)
+            })
+            .unwrap();
+        assert_eq!(run.states, full.states);
+        assert_eq!(run.rounds, full.rounds);
+        // Captures at rounds 2, 4, 6, 8 (the run ends in round 9).
+        assert_eq!(
+            checkpoints.iter().map(|c| c.round).collect::<Vec<_>>(),
+            vec![2, 4, 6, 8]
+        );
+
+        for cp in checkpoints {
+            let resumed = exec.resume(&g, &program, cp).unwrap();
+            assert_eq!(resumed.states, full.states);
+            assert_eq!(resumed.rounds, full.rounds);
+            assert_eq!(resumed.messages, full.messages);
+            assert_eq!(
+                resumed.meter.max_words_on_edge(),
+                full.meter.max_words_on_edge()
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_round_budget_counts_total_rounds() {
+        let g = generators::cycle(6);
+        let program = Mixer { rounds: 20 };
+        let exec = Executor::new(ExecutorConfig::default());
+        let mut checkpoints = Vec::new();
+        exec.run_checkpointed(&g, &program, &mut NullSink, 5, &mut |cp, _| {
+            checkpoints.push(cp)
+        })
+        .unwrap();
+
+        // A budget the full run exceeds must still fail after a resume from
+        // round 5 — the budget meters total rounds, not rounds since resume.
+        let tight = Executor::new(ExecutorConfig {
+            max_rounds: 10,
+            ..ExecutorConfig::default()
+        });
+        assert_eq!(
+            tight
+                .resume(&g, &program, checkpoints[0].clone())
+                .unwrap_err(),
+            RuntimeError::RoundLimit { limit: 10 }
+        );
     }
 
     #[test]

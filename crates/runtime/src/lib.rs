@@ -86,5 +86,5 @@ pub mod program;
 
 pub use cluster::{run_on_clusters, ClusterExecution};
 pub use driver::VertexRound;
-pub use executor::{Execution, Executor, ExecutorConfig, RuntimeError};
+pub use executor::{ExecCheckpoint, Execution, Executor, ExecutorConfig, RuntimeError};
 pub use program::{Envelope, NodeCtx, NodeProgram, NodeRng, Outbox, RuntimeMessage};

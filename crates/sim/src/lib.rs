@@ -120,4 +120,6 @@ pub mod simulator;
 pub use faults::{FaultHook, FaultOutcome, FaultedRun, MessageFate, NoFaults};
 pub use latency::LatencyModel;
 pub use report::{SimExecution, SimStats};
-pub use simulator::{run_both, SimConfig, Simulator, TieBreak};
+pub use simulator::{
+    run_both, PacketCheckpoint, SimCheckpoint, SimConfig, Simulator, TieBreak, VertexCheckpoint,
+};

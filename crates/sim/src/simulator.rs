@@ -32,7 +32,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use mfd_congest::{Message, RoundMeter};
+use mfd_congest::{Message, MeterParts, RoundMeter};
 use mfd_graph::Graph;
 use mfd_runtime::driver::{self, VertexRound};
 use mfd_runtime::{
@@ -108,6 +108,114 @@ impl SimConfig {
     pub fn with_latency(self, latency: LatencyModel) -> Self {
         SimConfig { latency, ..self }
     }
+}
+
+/// One in-flight packet in a [`SimCheckpoint`], with its scheduled arrival.
+#[derive(Debug, Clone)]
+pub struct PacketCheckpoint<M> {
+    /// Scheduled arrival tick.
+    pub time: u64,
+    /// The heap ordering key as stored — already transformed per the run's
+    /// [`TieBreak`], so a resume under the *same* tie-break replays the
+    /// exact event order.
+    pub seq_key: u64,
+    /// Sending vertex.
+    pub src: usize,
+    /// Receiving vertex.
+    pub dst: usize,
+    /// The sender's local round when the packet was sent.
+    pub tag: u64,
+    /// Program messages for this edge: `(message, words, slip)`.
+    pub payload: Vec<(M, usize, u64)>,
+    /// Whether the sender halted after the tagged round.
+    pub halt: bool,
+    /// A failure-detector notification rather than a network packet.
+    pub notice: bool,
+}
+
+/// One tag's pending buffer in a [`VertexCheckpoint`]: per-sender `(msg, idx)`
+/// packets, senders sorted.
+pub type PendingBucket<M> = Vec<(usize, Vec<(M, usize)>)>;
+
+/// One slipped message in a [`VertexCheckpoint`], in the deterministic
+/// `(src, tag, idx)` replay order, carrying its payload last.
+pub type LateEntry<M> = (usize, u64, usize, M);
+
+/// One vertex's synchronizer state in a [`SimCheckpoint`].
+///
+/// Map-shaped engine state is captured as sorted vectors so the same engine
+/// state always encodes to the same bytes. The sorts are behaviorally inert:
+/// pending-buffer senders are re-sorted at consumption anyway, late messages
+/// replay in `(src, tag, idx)` order by construction, and the remaining keys
+/// are looked up, never iterated.
+#[derive(Debug, Clone)]
+pub struct VertexCheckpoint<M> {
+    /// Halted normally.
+    pub halted: bool,
+    /// Crash-stopped by the fault schedule.
+    pub crashed: bool,
+    /// The next local round this vertex will execute.
+    pub next_round: u64,
+    /// Simulated time of the most recent execution.
+    pub completion: u64,
+    /// Buffered packets by tag (sorted by tag; per-tag senders sorted).
+    pub pending: Vec<(u64, PendingBucket<M>)>,
+    /// Slipped messages by target round (sorted by round; entries in the
+    /// deterministic `(src, tag, idx)` replay order).
+    pub late: Vec<(u64, Vec<LateEntry<M>>)>,
+    /// Final tag per halted/crashed neighbor (sorted by neighbor).
+    pub nbr_final_tag: Vec<(usize, u64)>,
+}
+
+/// The event engine's complete state between two timestamp batches, as plain
+/// data.
+///
+/// Captured by [`Simulator::run_checkpointed`] /
+/// [`Simulator::run_with_faults_checkpointed`] and consumed by
+/// [`Simulator::resume`] / [`Simulator::resume_with_faults`]: the continued
+/// run is bit-identical to the uninterrupted one, provided graph, program,
+/// configuration (including [`TieBreak`]) and fault hook match. Fault-model
+/// memo state needs no capture — every fate is a pure function of
+/// `(seed, edge, round, index)`, so a restored run re-derives the same fate
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct SimCheckpoint<S, M> {
+    /// Rounds submitted to the meter and sealed when the checkpoint was
+    /// taken. Unlike the synchronous engine, vertices may already be
+    /// executing later rounds — those rounds' message buckets travel in
+    /// [`SimCheckpoint::pending_rounds`].
+    pub round: u64,
+    /// Every vertex's program state.
+    pub states: Vec<S>,
+    /// Every vertex's synchronizer state.
+    pub vx: Vec<VertexCheckpoint<M>>,
+    /// In-flight packets, sorted by `(time, seq_key)` (heap order).
+    pub queue: Vec<PacketCheckpoint<M>>,
+    /// The packet sequence counter.
+    pub seq: u64,
+    /// Message buckets of reconstructed rounds not yet submitted to the
+    /// meter (rounds `round + 1, round + 2, …`).
+    pub pending_rounds: Vec<Vec<Message>>,
+    /// The meter's accumulator state, covering rounds `1..=round`.
+    pub meter: MeterParts,
+    /// Live vertices per `next_round` value (sorted by round).
+    pub round_pop: Vec<(u64, usize)>,
+    /// Number of live vertices.
+    pub live: usize,
+    /// Smallest `next_round` among live vertices.
+    pub frontier: u64,
+    /// Largest execution time observed.
+    pub makespan: u64,
+    /// In-flight packets per edge (indexed like the engine's edge list,
+    /// which is rebuilt deterministically from the graph on restore).
+    pub in_flight: Vec<usize>,
+    /// Peak in-flight packets per edge.
+    pub edge_peak: Vec<usize>,
+    /// Total packets currently in flight.
+    pub cur_in_flight: usize,
+    /// Fault/synchronizer counters so far (the per-edge vectors stay empty
+    /// until a run finishes).
+    pub stats: SimStats,
 }
 
 /// A deterministic discrete-event simulator for asynchronous CONGEST
@@ -208,6 +316,241 @@ impl Simulator {
         let adj = driver::sorted_adjacency(g);
         let mut engine = Engine::new(g, program, &adj, &self.config, hook, observer);
         let outcome = match engine.start().and_then(|()| engine.drain()) {
+            Ok(()) => FaultOutcome::Completed,
+            Err(RuntimeError::RoundLimit { limit }) => FaultOutcome::Wedged { limit },
+            Err(e) => return Err(e),
+        };
+        let (run, crashed) = engine.finish()?;
+        Ok(FaultedRun {
+            run,
+            outcome,
+            crashed,
+        })
+    }
+
+    /// [`Simulator::run_traced`] that additionally hands a full-state
+    /// [`SimCheckpoint`] to `capture` roughly every `every` sealed rounds:
+    /// after the first timestamp batch at which at least `every` further
+    /// rounds have been submitted to the meter (ticks are the engine's only
+    /// consistent cut points — several rounds can seal in one batch, so
+    /// checkpoint rounds need not be exact multiples of `every`; each
+    /// checkpoint records its own round). The observer is passed to
+    /// `capture` by shared reference at the exact capture instant, so a
+    /// journal can stamp each checkpoint with the digest head at its round.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    pub fn run_checkpointed<P, O, C>(
+        &self,
+        g: &Graph,
+        program: &P,
+        observer: &mut O,
+        every: u64,
+        capture: &mut C,
+    ) -> Result<SimExecution<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        P::State: Clone,
+        O: RunObserver<P::State>,
+        C: FnMut(SimCheckpoint<P::State, P::Msg>, &O),
+    {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine = Engine::new(g, program, &adj, &self.config, &NoFaults, observer);
+        engine.start()?;
+        engine.drain_checkpointed(every, capture)?;
+        engine.finish().map(|(run, _)| run)
+    }
+
+    /// [`Simulator::run_with_faults_traced`] with checkpoint capture — the
+    /// faulted counterpart of [`Simulator::run_checkpointed`], with the same
+    /// capture cadence. As with [`Simulator::run_with_faults`], exhausting
+    /// the round budget wedges the run instead of erroring; checkpoints
+    /// captured before the wedge are still delivered.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run_with_faults`].
+    pub fn run_with_faults_checkpointed<P, F, O, C>(
+        &self,
+        g: &Graph,
+        program: &P,
+        hook: &F,
+        observer: &mut O,
+        every: u64,
+        capture: &mut C,
+    ) -> Result<FaultedRun<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        P::State: Clone,
+        F: FaultHook,
+        O: RunObserver<P::State>,
+        C: FnMut(SimCheckpoint<P::State, P::Msg>, &O),
+    {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine = Engine::new(g, program, &adj, &self.config, hook, observer);
+        let outcome = match engine
+            .start()
+            .and_then(|()| engine.drain_checkpointed(every, capture))
+        {
+            Ok(()) => FaultOutcome::Completed,
+            Err(RuntimeError::RoundLimit { limit }) => FaultOutcome::Wedged { limit },
+            Err(e) => return Err(e),
+        };
+        let (run, crashed) = engine.finish()?;
+        Ok(FaultedRun {
+            run,
+            outcome,
+            crashed,
+        })
+    }
+
+    /// Continues a run from a checkpoint captured by
+    /// [`Simulator::run_checkpointed`] until the event queue drains.
+    ///
+    /// The continued run is **bit-identical** to the uninterrupted one,
+    /// provided `g`, `program` and this simulator's configuration (latency
+    /// model, seed and [`TieBreak`] included) match the run that captured
+    /// the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex or edge counts do not match `g`.
+    pub fn resume<P: NodeProgram>(
+        &self,
+        g: &Graph,
+        program: &P,
+        checkpoint: SimCheckpoint<P::State, P::Msg>,
+    ) -> Result<SimExecution<P::State>, RuntimeError> {
+        self.resume_traced(g, program, checkpoint, &mut NullSink)
+    }
+
+    /// [`Simulator::resume`] with an observer. Round 0 is *not* re-sealed
+    /// and already-sealed rounds are not replayed; to continue a digest
+    /// chain across the resume, restore the sink's state alongside (see
+    /// `mfd_trace::DigestSink::export`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex or edge counts do not match `g`.
+    pub fn resume_traced<P: NodeProgram, O: RunObserver<P::State>>(
+        &self,
+        g: &Graph,
+        program: &P,
+        checkpoint: SimCheckpoint<P::State, P::Msg>,
+        observer: &mut O,
+    ) -> Result<SimExecution<P::State>, RuntimeError> {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine = Engine::restored(
+            g,
+            program,
+            &adj,
+            &self.config,
+            &NoFaults,
+            observer,
+            checkpoint,
+        );
+        engine.drain()?;
+        engine.finish().map(|(run, _)| run)
+    }
+
+    /// [`Simulator::resume_traced`] with checkpoint capture — continues from
+    /// `checkpoint` and hands out fresh checkpoints on the same cadence as
+    /// [`Simulator::run_checkpointed`]. This is the time-travel primitive:
+    /// restore the nearest journaled checkpoint below a target round, then
+    /// step forward capturing every consistent cut.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex or edge counts do not match `g`.
+    pub fn resume_checkpointed<P, O, C>(
+        &self,
+        g: &Graph,
+        program: &P,
+        checkpoint: SimCheckpoint<P::State, P::Msg>,
+        observer: &mut O,
+        every: u64,
+        capture: &mut C,
+    ) -> Result<SimExecution<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        P::State: Clone,
+        O: RunObserver<P::State>,
+        C: FnMut(SimCheckpoint<P::State, P::Msg>, &O),
+    {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine = Engine::restored(
+            g,
+            program,
+            &adj,
+            &self.config,
+            &NoFaults,
+            observer,
+            checkpoint,
+        );
+        engine.drain_checkpointed(every, capture)?;
+        engine.finish().map(|(run, _)| run)
+    }
+
+    /// Continues a faulted run from a checkpoint captured by
+    /// [`Simulator::run_with_faults_checkpointed`], under the same `hook`.
+    ///
+    /// Fault fates are pure in `(seed, edge, round, index)`, so the resumed
+    /// run sees exactly the fate sequence the uninterrupted run saw — no
+    /// fault-model state travels in the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run_with_faults`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex or edge counts do not match `g`.
+    pub fn resume_with_faults<P: NodeProgram, F: FaultHook>(
+        &self,
+        g: &Graph,
+        program: &P,
+        hook: &F,
+        checkpoint: SimCheckpoint<P::State, P::Msg>,
+    ) -> Result<FaultedRun<P::State>, RuntimeError> {
+        self.resume_with_faults_traced(g, program, hook, checkpoint, &mut NullSink)
+    }
+
+    /// [`Simulator::resume_with_faults`] with an observer (see
+    /// [`Simulator::resume_traced`] for what the observer does and does not
+    /// replay).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run_with_faults`].
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's vertex or edge counts do not match `g`.
+    pub fn resume_with_faults_traced<P: NodeProgram, F: FaultHook, O: RunObserver<P::State>>(
+        &self,
+        g: &Graph,
+        program: &P,
+        hook: &F,
+        checkpoint: SimCheckpoint<P::State, P::Msg>,
+        observer: &mut O,
+    ) -> Result<FaultedRun<P::State>, RuntimeError> {
+        let adj = driver::sorted_adjacency(g);
+        let mut engine =
+            Engine::restored(g, program, &adj, &self.config, hook, observer, checkpoint);
+        let outcome = match engine.drain() {
             Ok(()) => FaultOutcome::Completed,
             Err(RuntimeError::RoundLimit { limit }) => FaultOutcome::Wedged { limit },
             Err(e) => return Err(e),
@@ -431,39 +774,252 @@ impl<'a, P: NodeProgram, F: FaultHook, O: RunObserver<P::State>> Engine<'a, P, F
     }
 
     /// Processes the event queue to exhaustion, one timestamp batch at a
-    /// time: first buffer every arrival of the tick, then let ready vertices
-    /// execute. The synchronizer invariant (a vertex waiting on some neighbor
+    /// time. The synchronizer invariant (a vertex waiting on some neighbor
     /// always has that neighbor's packet in flight or pending) guarantees the
     /// queue only empties once every vertex has halted.
     fn drain(&mut self) -> Result<(), RuntimeError> {
-        while let Some(&Reverse((now, _, _))) = self.heap.peek() {
-            let mut touched: Vec<usize> = Vec::new();
-            while let Some(&Reverse((t, _, idx))) = self.heap.peek() {
-                if t != now {
-                    break;
-                }
-                self.heap.pop();
-                let packet = self.packets[idx].take().expect("packet delivered twice");
-                self.free_slots.push(idx);
-                self.arrive(packet, &mut touched);
+        while self.tick()?.is_some() {}
+        debug_assert!(
+            self.vx.iter().all(VertexSim::gone),
+            "event queue drained with live vertices — synchronizer invariant broken"
+        );
+        Ok(())
+    }
+
+    /// [`Engine::drain`] that additionally captures a checkpoint after the
+    /// first tick at which at least `every` further rounds have sealed
+    /// (`every` is clamped to at least 1). Between ticks every engine
+    /// invariant holds, which is what makes the capture a consistent cut.
+    fn drain_checkpointed<C>(&mut self, every: u64, capture: &mut C) -> Result<(), RuntimeError>
+    where
+        P::State: Clone,
+        C: FnMut(SimCheckpoint<P::State, P::Msg>, &O),
+    {
+        let every = every.max(1);
+        let mut next = every;
+        while self.tick()?.is_some() {
+            if self.submitted as u64 >= next {
+                capture(self.checkpoint(), &*self.observer);
+                next = self.submitted as u64 + every;
             }
-            touched.sort_unstable();
-            touched.dedup();
-            if self.config.tie_break == TieBreak::ReverseInsertion {
-                touched.reverse();
-            }
-            for v in touched {
-                if !self.vx[v].gone() {
-                    self.try_advance(v, now)?;
-                }
-            }
-            self.pump_meter()?;
         }
         debug_assert!(
             self.vx.iter().all(VertexSim::gone),
             "event queue drained with live vertices — synchronizer invariant broken"
         );
         Ok(())
+    }
+
+    /// Processes one timestamp batch: first buffer every arrival of the
+    /// tick, then let ready vertices execute, then submit every round that
+    /// can no longer grow. Returns the batch's tick, or `None` once the
+    /// queue is empty (the run is over, nothing processed).
+    fn tick(&mut self) -> Result<Option<u64>, RuntimeError> {
+        let Some(&Reverse((now, _, _))) = self.heap.peek() else {
+            return Ok(None);
+        };
+        let mut touched: Vec<usize> = Vec::new();
+        while let Some(&Reverse((t, _, idx))) = self.heap.peek() {
+            if t != now {
+                break;
+            }
+            self.heap.pop();
+            let packet = self.packets[idx].take().expect("packet delivered twice");
+            self.free_slots.push(idx);
+            self.arrive(packet, &mut touched);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        if self.config.tie_break == TieBreak::ReverseInsertion {
+            touched.reverse();
+        }
+        for v in touched {
+            if !self.vx[v].gone() {
+                self.try_advance(v, now)?;
+            }
+        }
+        self.pump_meter()?;
+        Ok(Some(now))
+    }
+
+    /// Captures the engine's complete state (valid only between ticks, the
+    /// only time the caller can observe the engine).
+    fn checkpoint(&self) -> SimCheckpoint<P::State, P::Msg>
+    where
+        P::State: Clone,
+    {
+        let vx = self
+            .vx
+            .iter()
+            .map(|x| {
+                let mut pending: Vec<(u64, TaggedBuffer<P::Msg>)> = x
+                    .pending
+                    .iter()
+                    .map(|(&tag, buf)| {
+                        let mut buf = buf.clone();
+                        buf.sort_unstable_by_key(|&(src, _)| src);
+                        (tag, buf)
+                    })
+                    .collect();
+                pending.sort_unstable_by_key(|&(tag, _)| tag);
+                let mut late: Vec<(u64, Vec<LateMsg<P::Msg>>)> = x
+                    .late
+                    .iter()
+                    .map(|(&round, msgs)| {
+                        let mut msgs = msgs.clone();
+                        msgs.sort_unstable_by_key(|&(src, tag, idx, _)| (src, tag, idx));
+                        (round, msgs)
+                    })
+                    .collect();
+                late.sort_unstable_by_key(|&(round, _)| round);
+                let mut nbr_final_tag: Vec<(usize, u64)> =
+                    x.nbr_final_tag.iter().map(|(&u, &t)| (u, t)).collect();
+                nbr_final_tag.sort_unstable();
+                VertexCheckpoint {
+                    halted: x.halted,
+                    crashed: x.crashed,
+                    next_round: x.next_round,
+                    completion: x.completion,
+                    pending,
+                    late,
+                    nbr_final_tag,
+                }
+            })
+            .collect();
+        let mut entries: Vec<(u64, u64, usize)> =
+            self.heap.iter().map(|&Reverse(entry)| entry).collect();
+        entries.sort_unstable();
+        let queue = entries
+            .into_iter()
+            .map(|(time, seq_key, idx)| {
+                let p = self.packets[idx].as_ref().expect("heap slot vacated");
+                PacketCheckpoint {
+                    time,
+                    seq_key,
+                    src: p.src,
+                    dst: p.dst,
+                    tag: p.tag,
+                    payload: p.payload.clone(),
+                    halt: p.halt,
+                    notice: p.notice,
+                }
+            })
+            .collect();
+        let mut round_pop: Vec<(u64, usize)> =
+            self.round_pop.iter().map(|(&r, &pop)| (r, pop)).collect();
+        round_pop.sort_unstable();
+        SimCheckpoint {
+            round: self.submitted as u64,
+            states: self.states.clone(),
+            vx,
+            queue,
+            seq: self.seq,
+            pending_rounds: self.per_round[self.submitted..].to_vec(),
+            meter: self.meter.to_parts(),
+            round_pop,
+            live: self.live,
+            frontier: self.frontier,
+            makespan: self.makespan,
+            in_flight: self.in_flight.clone(),
+            edge_peak: self.edge_peak.clone(),
+            cur_in_flight: self.cur_in_flight,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuilds the engine from a checkpoint: no `init`, no round-0 seal,
+    /// no [`Engine::start`] — the next event batch picks up exactly where
+    /// the captured run stopped.
+    #[allow(clippy::too_many_arguments)]
+    fn restored(
+        g: &'a Graph,
+        program: &'a P,
+        adj: &'a [Vec<usize>],
+        config: &'a SimConfig,
+        hook: &'a F,
+        observer: &'a mut O,
+        cp: SimCheckpoint<P::State, P::Msg>,
+    ) -> Self {
+        let n = g.n();
+        assert_eq!(
+            cp.states.len(),
+            n,
+            "checkpoint was captured on a graph with {} vertices, not {n}",
+            cp.states.len()
+        );
+        let mut edge_index = HashMap::new();
+        let mut edges = Vec::with_capacity(g.m());
+        for (u, v) in g.edges() {
+            edge_index.insert(ekey(u, v), edges.len());
+            edges.push(ekey(u, v));
+        }
+        assert_eq!(
+            cp.in_flight.len(),
+            edges.len(),
+            "checkpoint was captured on a graph with {} edges, not {}",
+            cp.in_flight.len(),
+            edges.len()
+        );
+        let vx: Vec<VertexSim<P::Msg>> = cp
+            .vx
+            .into_iter()
+            .map(|x| VertexSim {
+                halted: x.halted,
+                crashed: x.crashed,
+                next_round: x.next_round,
+                completion: x.completion,
+                pending: x.pending.into_iter().collect(),
+                late: x.late.into_iter().collect(),
+                nbr_final_tag: x.nbr_final_tag.into_iter().collect(),
+            })
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(cp.queue.len());
+        let mut packets = Vec::with_capacity(cp.queue.len());
+        for p in cp.queue {
+            heap.push(Reverse((p.time, p.seq_key, packets.len())));
+            packets.push(Some(Packet {
+                src: p.src,
+                dst: p.dst,
+                tag: p.tag,
+                payload: p.payload,
+                halt: p.halt,
+                notice: p.notice,
+            }));
+        }
+        let submitted = cp.round as usize;
+        let mut per_round: Vec<Vec<Message>> = (0..submitted).map(|_| Vec::new()).collect();
+        per_round.extend(cp.pending_rounds);
+        Engine {
+            g,
+            program,
+            adj,
+            config,
+            hook,
+            observer,
+            max_rounds: config
+                .max_rounds
+                .min(program.round_budget_hint().unwrap_or(u64::MAX)),
+            n,
+            states: cp.states,
+            vx,
+            heap,
+            packets,
+            free_slots: Vec::new(),
+            seq: cp.seq,
+            per_round,
+            submitted,
+            meter: RoundMeter::from_parts(cp.meter),
+            round_pop: cp.round_pop.into_iter().collect(),
+            live: cp.live,
+            frontier: cp.frontier,
+            makespan: cp.makespan,
+            edge_index,
+            edges,
+            in_flight: cp.in_flight,
+            edge_peak: cp.edge_peak,
+            cur_in_flight: cp.cur_in_flight,
+            stats: cp.stats,
+        }
     }
 
     /// Submits every reconstructed round that can no longer grow — all live
@@ -1268,6 +1824,88 @@ mod tests {
                 .iter()
                 .find(|&&(v, _)| v == vertex)
                 .map(|&(_, r)| r)
+        }
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_matches_the_uninterrupted_run() {
+        let g = generators::wheel(16);
+        for latency in [
+            LatencyModel::Fixed(1),
+            LatencyModel::Uniform { lo: 1, hi: 7 },
+            LatencyModel::HeavyTail {
+                min: 1,
+                alpha: 1.3,
+                cap: 40,
+            },
+        ] {
+            let sim = Simulator::new(SimConfig::default().with_latency(latency));
+            let full = sim.run(&g, &Census).unwrap();
+            let mut checkpoints = Vec::new();
+            let run = sim
+                .run_checkpointed(&g, &Census, &mut NullSink, 1, &mut |cp, _| {
+                    checkpoints.push(cp)
+                })
+                .unwrap();
+            assert_eq!(run.states, full.states);
+            assert!(!checkpoints.is_empty());
+            for cp in checkpoints {
+                let resumed = sim.resume(&g, &Census, cp).unwrap();
+                assert_eq!(resumed.states, full.states);
+                assert_eq!(resumed.rounds, full.rounds);
+                assert_eq!(resumed.messages, full.messages);
+                assert_eq!(resumed.makespan, full.makespan);
+                assert_eq!(resumed.completion, full.completion);
+                assert_eq!(resumed.stats.packets, full.stats.packets);
+                assert_eq!(resumed.stats.pure_pulses, full.stats.pure_pulses);
+                assert_eq!(resumed.stats.peak_in_flight, full.stats.peak_in_flight);
+                assert_eq!(
+                    resumed.stats.edge_in_flight_peak,
+                    full.stats.edge_in_flight_peak
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_resume_replays_the_same_fate_sequence() {
+        // Drops to odd vertices plus a crash: the checkpointed continuation
+        // must reproduce losses, crash notices and partial states exactly.
+        let g = generators::triangulated_grid(5, 5);
+        let hook = TestHook {
+            drop_to_odd: true,
+            crashes: vec![(7, 2)],
+            slip_all: 0,
+        };
+        let sim = Simulator::new(
+            SimConfig::default().with_latency(LatencyModel::Uniform { lo: 1, hi: 4 }),
+        );
+        let full = sim.run_with_faults(&g, &Census, &hook).unwrap();
+        let mut checkpoints = Vec::new();
+        sim.run_with_faults_checkpointed(&g, &Census, &hook, &mut NullSink, 1, &mut |cp, _| {
+            checkpoints.push(cp)
+        })
+        .unwrap();
+        assert!(!checkpoints.is_empty());
+        for cp in checkpoints {
+            let resumed = sim.resume_with_faults(&g, &Census, &hook, cp).unwrap();
+            assert_eq!(resumed.outcome, full.outcome);
+            assert_eq!(resumed.crashed, full.crashed);
+            assert_eq!(resumed.run.states, full.run.states);
+            assert_eq!(resumed.run.rounds, full.run.rounds);
+            assert_eq!(resumed.run.makespan, full.run.makespan);
+            assert_eq!(
+                resumed.run.stats.lost_messages,
+                full.run.stats.lost_messages
+            );
+            assert_eq!(
+                resumed.run.stats.crash_notices,
+                full.run.stats.crash_notices
+            );
+            assert_eq!(
+                resumed.run.stats.dropped_packets,
+                full.run.stats.dropped_packets
+            );
         }
     }
 

@@ -4,6 +4,44 @@ use std::collections::BTreeMap;
 
 use crate::{fnv1a_fold, EngineKind, TraceSink, FNV_OFFSET};
 
+/// A [`DigestSink`]'s complete journaling state as plain data, for
+/// checkpoint/resume (`mfd-replay`).
+///
+/// [`DigestSink::export`] captures it and [`DigestSink::restore`] rebuilds a
+/// sink that continues the chain exactly where the exported one stopped. The
+/// `pending` digests — vertices the engine has already reported for rounds
+/// not yet sealed, which the event engine produces whenever vertices run
+/// ahead of the meter frontier — must travel with the engine checkpoint, or
+/// the resumed chain would silently drop them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestState {
+    /// The engine this sink is pinned to (`None`: nothing journaled yet).
+    pub engine: Option<EngineKind>,
+    /// `(round, chain head after that round)` in seal order.
+    pub heads: Vec<(u64, u64)>,
+    /// Carried-forward per-vertex digests as of the last sealed round.
+    pub current: Vec<u64>,
+    /// Reported-but-unsealed digests: `(round, [(vertex, digest)])`, sorted
+    /// by round and by vertex within a round.
+    pub pending: Vec<(u64, Vec<(usize, u64)>)>,
+}
+
+/// A run's first online disagreement with a reference chain (see
+/// [`DigestSink::with_reference`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainMismatch {
+    /// First diverging round (chain index; round 0 is the initial
+    /// configuration).
+    pub round: u64,
+    /// The reference head at that round — `None` when the run sealed more
+    /// rounds than the reference chain has.
+    pub expected: Option<u64>,
+    /// The run's head at that round — `None` when the run stopped short of
+    /// the reference chain (detected post-run by
+    /// [`DigestSink::reference_verdict`]).
+    pub got: Option<u64>,
+}
+
 /// Journals one digest per sealed round covering the state of *every*
 /// vertex, chained on the previous round's digest.
 ///
@@ -40,6 +78,8 @@ pub struct DigestSink {
     /// [`DigestSink::with_snapshots`]), aligned with
     /// [`DigestSink::heads`].
     pub snapshot_log: Vec<Vec<u64>>,
+    reference: Option<Vec<u64>>,
+    first_mismatch: Option<ChainMismatch>,
 }
 
 impl DigestSink {
@@ -67,6 +107,82 @@ impl DigestSink {
     /// [`crate::first_divergence`].
     pub fn chain(&self) -> Vec<u64> {
         self.heads.iter().map(|&(_, head)| head).collect()
+    }
+
+    /// A sink in **verify mode**: it journals as usual *and* streams every
+    /// sealed head against `reference` (a chain from an earlier run or a
+    /// journal), recording the first diverging round the moment it seals —
+    /// online divergence detection, no second full run and no post-hoc
+    /// binary search. Poll [`DigestSink::first_mismatch`] during the run
+    /// (sinks observe but cannot abort an engine) or ask
+    /// [`DigestSink::reference_verdict`] afterwards, which also covers the
+    /// one case the stream cannot see: a run that stops short of the
+    /// reference chain.
+    pub fn with_reference(reference: Vec<u64>) -> Self {
+        DigestSink {
+            reference: Some(reference),
+            ..DigestSink::default()
+        }
+    }
+
+    /// The first online disagreement with the reference chain, if any seal
+    /// has produced one so far (always `None` without
+    /// [`DigestSink::with_reference`]).
+    pub fn first_mismatch(&self) -> Option<ChainMismatch> {
+        self.first_mismatch
+    }
+
+    /// The verify-mode verdict after the run: the first diverging round
+    /// against the reference chain, or `None` if the run matched it
+    /// round-for-round *and* sealed exactly as many rounds.
+    ///
+    /// A run that sealed fewer rounds than the reference diverges at its own
+    /// chain's end (`expected` the reference head there, `got: None`) —
+    /// the same semantics [`crate::first_divergence`] applies to
+    /// unequal-length chains.
+    pub fn reference_verdict(&self) -> Option<ChainMismatch> {
+        let reference = self.reference.as_ref()?;
+        self.first_mismatch.or_else(|| {
+            (self.heads.len() < reference.len()).then(|| ChainMismatch {
+                round: self.heads.len() as u64,
+                expected: Some(reference[self.heads.len()]),
+                got: None,
+            })
+        })
+    }
+
+    /// Captures the sink's complete journaling state (see [`DigestState`]).
+    ///
+    /// The optional snapshot log is diagnostic output, not chaining state —
+    /// it is not exported, and a restored sink starts a fresh (empty) log.
+    pub fn export(&self) -> DigestState {
+        DigestState {
+            engine: self.engine,
+            heads: self.heads.clone(),
+            current: self.current.clone(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(&round, touched)| {
+                    let mut touched = touched.clone();
+                    touched.sort_unstable();
+                    (round, touched)
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a sink that continues the chain exactly where the exported
+    /// state stopped; the inverse of [`DigestSink::export`]. Verify mode and
+    /// snapshot logging are off (chain them with struct update if needed).
+    pub fn restore(state: DigestState) -> Self {
+        DigestSink {
+            heads: state.heads,
+            engine: state.engine,
+            current: state.current,
+            pending: state.pending.into_iter().collect(),
+            ..DigestSink::default()
+        }
     }
 
     /// Vertices whose digests differ between two runs' snapshot logs at
@@ -123,6 +239,19 @@ impl TraceSink for DigestSink {
             .iter()
             .fold(FNV_OFFSET, |acc, &d| fnv1a_fold(acc, d));
         let head = fnv1a_fold(self.head(), round_digest);
+        if let Some(reference) = &self.reference {
+            if self.first_mismatch.is_none() {
+                let index = self.heads.len();
+                let expected = reference.get(index).copied();
+                if expected != Some(head) {
+                    self.first_mismatch = Some(ChainMismatch {
+                        round: index as u64,
+                        expected,
+                        got: Some(head),
+                    });
+                }
+            }
+        }
         self.heads.push((round, head));
         if self.snapshots {
             self.snapshot_log.push(self.current.clone());
@@ -175,5 +304,94 @@ mod tests {
         let mut s = DigestSink::new();
         s.vertex_digest(EngineKind::Executor, 0, 0, 1);
         s.vertex_digest(EngineKind::Sim, 0, 1, 2);
+    }
+
+    #[test]
+    fn export_restore_continues_the_chain_exactly() {
+        // The uninterrupted run.
+        let mut full = DigestSink::new();
+        feed(&mut full, 0, &[(0, 10), (1, 20), (2, 30)]);
+        feed(&mut full, 1, &[(0, 11), (2, 31)]);
+        feed(&mut full, 2, &[(1, 22)]);
+        feed(&mut full, 3, &[(0, 13), (1, 23), (2, 33)]);
+
+        // Same prefix, exported mid-run with an unsealed pending digest (the
+        // event engine regularly reports ahead of the sealed frontier).
+        let mut half = DigestSink::new();
+        feed(&mut half, 0, &[(0, 10), (1, 20), (2, 30)]);
+        feed(&mut half, 1, &[(0, 11), (2, 31)]);
+        half.vertex_digest(EngineKind::Executor, 2, 1, 22);
+        let state = half.export();
+
+        let mut resumed = DigestSink::restore(state.clone());
+        resumed.round_sealed(EngineKind::Executor, 2);
+        feed(&mut resumed, 3, &[(0, 13), (1, 23), (2, 33)]);
+        assert_eq!(resumed.heads, full.heads);
+        assert_eq!(resumed.head(), full.head());
+        // Export is a faithful round-trip too.
+        assert_eq!(DigestSink::restore(state.clone()).export(), state);
+    }
+
+    #[test]
+    fn verify_mode_flags_the_first_diverging_round_online() {
+        let mut reference = DigestSink::new();
+        for r in 0..6 {
+            feed(&mut reference, r, &[(0, 100 + r), (1, 200 + r)]);
+        }
+        // Diverges at round 3 (vertex 1 reports a different digest).
+        let mut run = DigestSink::with_reference(reference.chain());
+        for r in 0..6 {
+            let v1 = if r >= 3 { 999 } else { 200 + r };
+            feed(&mut run, r, &[(0, 100 + r), (1, v1)]);
+            if r < 3 {
+                assert_eq!(run.first_mismatch(), None, "round {r}");
+            }
+        }
+        let m = run.first_mismatch().expect("divergence must be flagged");
+        assert_eq!(m.round, 3);
+        assert_eq!(m.expected, Some(reference.chain()[3]));
+        assert!(m.got.is_some() && m.got != m.expected);
+        assert_eq!(run.reference_verdict(), Some(m));
+        // Only the FIRST mismatch is recorded; later seals don't overwrite.
+        assert_eq!(run.first_mismatch().unwrap().round, 3);
+    }
+
+    #[test]
+    fn verify_mode_matches_first_divergence_on_unequal_lengths() {
+        let mut reference = DigestSink::new();
+        for r in 0..5 {
+            feed(&mut reference, r, &[(0, 7 * r + 1)]);
+        }
+        // A run sealing MORE rounds than the reference diverges where the
+        // reference ends (expected: None).
+        let mut long = DigestSink::with_reference(reference.chain());
+        for r in 0..8 {
+            feed(&mut long, r, &[(0, 7 * r + 1)]);
+        }
+        let m = long.first_mismatch().unwrap();
+        assert_eq!((m.round, m.expected), (5, None));
+        assert!(m.got.is_some());
+        assert_eq!(
+            crate::first_divergence(&long.chain(), &reference.chain()),
+            Some(5)
+        );
+
+        // A run stopping SHORT is invisible to the stream but caught by the
+        // post-run verdict (got: None).
+        let mut short = DigestSink::with_reference(reference.chain());
+        for r in 0..3 {
+            feed(&mut short, r, &[(0, 7 * r + 1)]);
+        }
+        assert_eq!(short.first_mismatch(), None);
+        let v = short.reference_verdict().unwrap();
+        assert_eq!((v.round, v.got), (3, None));
+        assert_eq!(v.expected, Some(reference.chain()[3]));
+
+        // An exact match is a clean verdict.
+        let mut exact = DigestSink::with_reference(reference.chain());
+        for r in 0..5 {
+            feed(&mut exact, r, &[(0, 7 * r + 1)]);
+        }
+        assert_eq!(exact.reference_verdict(), None);
     }
 }

@@ -1,25 +1,35 @@
 //! Locating the first round where two runs part ways.
 
 /// Index of the first differing entry between two digest-chain head
-/// sequences ([`crate::DigestSink::chain`]), or `None` when one is a prefix
-/// of the other and the common part agrees (same-length identical chains
-/// included).
+/// sequences ([`crate::DigestSink::chain`]), or `None` for identical
+/// equal-length chains.
 ///
 /// Because each head chains on all previous rounds, equality at index `i`
 /// implies the runs agreed on the whole state history through `i`, and a
 /// difference persists forever after — the predicate "chains differ at `i`"
 /// is monotone in `i`. That makes the first difference binary-searchable:
 /// O(log r) comparisons instead of a scan, which is what makes divergence
-/// hunting on long runs cheap. (A trailing length mismatch with an agreeing
-/// common prefix is *not* a state divergence — one run simply took more
-/// rounds, e.g. a round-limit wedge — so it reports `None`; callers compare
-/// lengths when they care.)
+/// hunting on long runs cheap.
+///
+/// # Unequal lengths
+///
+/// Chains of different lengths whose common prefix agrees diverge at the
+/// shorter chain's end, `Some(min(a.len(), b.len()))`: a run that sealed
+/// fewer rounds — it halted at a fixpoint the other run never reached, or
+/// wedged against its round budget — first *observably* differs from the
+/// longer run at the first round only one of them executed. (Chain index
+/// equals round: index 0 is the initial configuration, so the reported
+/// index is also the first round with no counterpart.) This matches the
+/// online detector (`DigestSink::with_reference`), which flags exactly that
+/// round when a run seals past — or stops short of — its reference chain.
 pub fn first_divergence(a: &[u64], b: &[u64]) -> Option<usize> {
     let n = a.len().min(b.len());
     // partition_point over the monotone predicate "prefix through i agrees".
     let agree = |i: usize| a[i] == b[i];
     if n == 0 || agree(n - 1) {
-        return None;
+        // The common prefix agrees in full; unequal lengths diverge where
+        // the shorter chain ends.
+        return (a.len() != b.len()).then_some(n);
     }
     let mut lo = 0; // invariant: all indices < lo agree
     let mut hi = n - 1; // invariant: hi disagrees
@@ -59,17 +69,35 @@ mod tests {
     }
 
     #[test]
-    fn identical_and_prefix_chains_report_none() {
+    fn identical_chains_report_none() {
         let a: Vec<u64> = (0..50).collect();
         assert_eq!(first_divergence(&a, &a), None);
-        assert_eq!(first_divergence(&a, &a[..20]), None);
-        assert_eq!(first_divergence(&[], &a), None);
         assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn agreeing_prefix_of_unequal_lengths_diverges_at_the_shorter_end() {
+        let a: Vec<u64> = (0..50).collect();
+        assert_eq!(first_divergence(&a, &a[..20]), Some(20));
+        assert_eq!(first_divergence(&a[..20], &a), Some(20));
+        assert_eq!(first_divergence(&[], &a), Some(0));
+        assert_eq!(first_divergence(&a, &[]), Some(0));
+        // Symmetric, and a one-entry surplus is still a divergence.
+        assert_eq!(first_divergence(&a, &a[..49]), Some(49));
     }
 
     #[test]
     fn divergence_inside_the_shorter_chain_is_found() {
         let (a, b) = chains(40, 5);
         assert_eq!(first_divergence(&a, &b[..10]), Some(5));
+    }
+
+    #[test]
+    fn early_divergence_beats_the_length_mismatch() {
+        // Both a prefix disagreement and a length mismatch: the earlier
+        // (state) divergence wins.
+        let (a, b) = chains(40, 7);
+        assert_eq!(first_divergence(&a, &b[..20]), Some(7));
+        assert_eq!(first_divergence(&a[..20], &b), Some(7));
     }
 }

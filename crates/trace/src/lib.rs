@@ -74,7 +74,7 @@ pub mod divergence;
 pub mod jsonl;
 pub mod metrics;
 
-pub use digest::DigestSink;
+pub use digest::{ChainMismatch, DigestSink, DigestState};
 pub use divergence::first_divergence;
 pub use jsonl::JsonlSink;
 pub use metrics::{MetricsSink, MetricsSnapshot, SpanMetrics};
