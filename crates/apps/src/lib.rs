@@ -23,6 +23,9 @@
 //!   properties of Corollary 6.6, including the Barenboim–Elkin error-detection path.
 //! * [`baselines`] — what the paper compares against: greedy/maximal heuristics and
 //!   the randomized exponential-shift low-diameter decomposition (MPX).
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-apps").
 
 pub mod baselines;
 pub mod matching;

@@ -195,8 +195,12 @@ fn main() -> ExitCode {
 /// `wedged` is deliberately *not* here: whether a faulty run starves is a
 /// semantic property of the protocol, so a flip changes the series key and
 /// fails the gate loudly as a disappeared series instead of sliding under a
-/// numeric tolerance.
-const METRIC_FIELDS: [&str; 12] = [
+/// numeric tolerance. `digest_head` (the scale schema) is excluded for the
+/// same reason.
+/// The wall-clock fields of the scale schema (`elapsed_ms`, `mps`, `rps`)
+/// and the arena high-water marks (`mailbox_hwm`, `route_hwm`) are
+/// measurements, never identity — wall clocks are not even deterministic.
+const METRIC_FIELDS: [&str; 17] = [
     "rounds",
     "messages",
     "makespan",
@@ -209,6 +213,11 @@ const METRIC_FIELDS: [&str; 12] = [
     "cluster_messages",
     "checkpoint_bytes",
     "rounds_replayed",
+    "elapsed_ms",
+    "mps",
+    "rps",
+    "mailbox_hwm",
+    "route_hwm",
 ];
 
 /// Reads one `BENCH_*.json` file and folds its series into `out`, keyed by

@@ -19,9 +19,9 @@ use mfd_apps::mis::{approximate_mis, MisConfig};
 use mfd_apps::property_testing::{test_property, Planarity};
 use mfd_apps::solvers;
 use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
-use mfd_bench::{f3, Table};
+use mfd_bench::{acceptance_families, f3, Table};
 use mfd_congest::RoundMeter;
-use mfd_core::edt::{build_edt, build_edt_traced, EdtConfig};
+use mfd_core::edt::{build_edt, build_edt_csr, build_edt_traced, EdtConfig};
 use mfd_core::expander::{
     min_cluster_conductance, minor_free_expander_decomposition, ExpanderParams,
 };
@@ -31,6 +31,7 @@ use mfd_core::programs::{BfsProgram, ColeVishkinProgram, VoronoiLddProgram};
 use mfd_faults::{crash_and_regather, gather_raw, gather_recovered, FaultModel, Reliable};
 use mfd_graph::generators;
 use mfd_graph::properties::splitmix64;
+use mfd_graph::{gen, CsrGraph};
 use mfd_routing::backend::{Executed, Metered};
 use mfd_routing::gather::{gather_to_leader, GatherStrategy};
 use mfd_routing::load_balance::{LoadBalanceParams, LoadBalancePlan};
@@ -38,14 +39,14 @@ use mfd_routing::programs::{
     execute_gather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
 };
 use mfd_routing::walks::WalkParams;
-use mfd_runtime::{Executor, ExecutorConfig, NodeProgram};
+use mfd_runtime::{Executor, ExecutorConfig, NodeProgram, ShardedConfig, ShardedExecutor};
 use mfd_sim::{LatencyModel, SimConfig, Simulator};
 use mfd_trace::{DigestSink, MetricsSink, Tee};
 
 /// Every section the report can regenerate, in print order. `--section`
 /// arguments are validated against this list, and `--list-sections` prints
 /// it, so CI job definitions can't silently reference a renamed section.
-const SECTIONS: [&str; 18] = [
+const SECTIONS: [&str; 19] = [
     "table1",
     "scaling_n",
     "scaling_eps",
@@ -64,6 +65,7 @@ const SECTIONS: [&str; 18] = [
     "edt",
     "trace",
     "replay",
+    "scale",
 ];
 
 fn main() {
@@ -148,6 +150,9 @@ fn main() {
     }
     if want("replay") {
         replay_report();
+    }
+    if want("scale") {
+        scale_report();
     }
 }
 
@@ -1726,3 +1731,324 @@ fn replay_report() {
     std::fs::write(path, json).expect("write BENCH_replay.json");
     println!("wrote {path} ({} series)", rows.len());
 }
+
+/// One sharded-executor measurement destined for `BENCH_scale.json`.
+///
+/// Identity fields: engine, graph, n, m, program, shards, threads and (where
+/// journaled) `digest_head` — so a semantic change to an engine fails the
+/// gate loudly as a disappeared series rather than sliding under a numeric
+/// tolerance. Gated metrics: rounds, messages. `mailbox_hwm`/`route_hwm` are
+/// deterministic envelope-count high-water marks (byte-diffed, ungated);
+/// `elapsed_ms`/`mps`/`rps` are wall clock — ungated and normalized away
+/// before CI's determinism byte-diff.
+struct ScaleRow {
+    engine: &'static str,
+    graph: String,
+    n: usize,
+    m: usize,
+    program: String,
+    /// `None` on unsharded rows.
+    shards: Option<usize>,
+    /// `None` means "all available cores".
+    threads: Option<usize>,
+    rounds: u64,
+    messages: u64,
+    digest_head: Option<u64>,
+    mailbox_hwm: Option<u64>,
+    route_hwm: Option<u64>,
+    elapsed_ms: f64,
+}
+
+impl ScaleRow {
+    fn to_json(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        let opt_usize = |v: Option<usize>| v.map_or("null".to_string(), |x| x.to_string());
+        let head = self
+            .digest_head
+            .map_or("null".to_string(), |h| format!("\"{h:016x}\""));
+        let secs = (self.elapsed_ms / 1e3).max(1e-9);
+        format!(
+            "{{\"engine\":\"{}\",\"graph\":\"{}\",\"n\":{},\"m\":{},\"program\":\"{}\",\
+             \"shards\":{},\"threads\":{},\"rounds\":{},\"messages\":{},\
+             \"digest_head\":{},\"mailbox_hwm\":{},\"route_hwm\":{},\
+             \"elapsed_ms\":{:.3},\"mps\":{:.1},\"rps\":{:.1}}}",
+            self.engine,
+            self.graph,
+            self.n,
+            self.m,
+            self.program,
+            opt_usize(self.shards),
+            opt_usize(self.threads),
+            self.rounds,
+            self.messages,
+            head,
+            opt(self.mailbox_hwm),
+            opt(self.route_hwm),
+            self.elapsed_ms,
+            self.messages as f64 / secs,
+            self.rounds as f64 / secs,
+        )
+    }
+}
+
+/// Runs `program` on the sharded executor, returning the execution and the
+/// wall-clock milliseconds it took.
+fn sharded_run<P: NodeProgram>(
+    csr: &CsrGraph,
+    program: &P,
+    shards: usize,
+    threads: usize,
+) -> (mfd_runtime::ShardedExecution<P::State>, f64) {
+    let t0 = std::time::Instant::now();
+    let run = ShardedExecutor::new(ShardedConfig::with_shards_threads(shards, threads))
+        .run(csr, program)
+        .expect("program is model-compliant");
+    (run, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// R7 — the scale series: the sharded CSR executor against the unsharded
+/// engine on the acceptance families (bit-identical states, meters and
+/// digest chains asserted in-process for every shard count), thread-scaling
+/// curves and million-vertex BFS / LDD / executed-EDT runs on the streaming
+/// generator families, written to `BENCH_scale.json`.
+fn scale_report() {
+    let mut rows: Vec<ScaleRow> = Vec::new();
+
+    // --- Differential block: sharded vs unsharded on the acceptance
+    // families, digest chains journaled on both sides.
+    for (name, g) in &acceptance_families() {
+        let mut ref_sink = DigestSink::new();
+        let t0 = std::time::Instant::now();
+        let reference = Executor::new(ExecutorConfig::default())
+            .run_traced(g, &BfsProgram { root: 0 }, &mut ref_sink)
+            .expect("bfs is model-compliant");
+        rows.push(ScaleRow {
+            engine: "executor",
+            graph: name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            program: "bfs".to_string(),
+            shards: None,
+            threads: None,
+            rounds: reference.rounds,
+            messages: reference.messages,
+            digest_head: Some(ref_sink.head()),
+            mailbox_hwm: None,
+            route_hwm: None,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+
+        let csr = CsrGraph::from_graph(g);
+        for shards in [1, 4, 32] {
+            let mut sink = DigestSink::new();
+            let t0 = std::time::Instant::now();
+            let run = ShardedExecutor::new(ShardedConfig::with_shards_threads(shards, 2))
+                .run_traced(&csr, &BfsProgram { root: 0 }, &mut sink)
+                .expect("bfs is model-compliant");
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                run.states, reference.states,
+                "{name}/bfs/shards={shards}: sharded states must be bit-identical"
+            );
+            assert_eq!(run.rounds, reference.rounds);
+            assert_eq!(run.messages, reference.messages);
+            assert_eq!(
+                sink.heads, ref_sink.heads,
+                "{name}/bfs/shards={shards}: digest chains must match the unsharded engine"
+            );
+            rows.push(ScaleRow {
+                engine: "sharded",
+                graph: name.to_string(),
+                n: g.n(),
+                m: g.m(),
+                program: "bfs".to_string(),
+                shards: Some(shards),
+                threads: Some(2),
+                rounds: run.rounds,
+                messages: run.messages,
+                digest_head: Some(sink.head()),
+                mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
+                route_hwm: Some(run.arena.route_slots_hwm as u64),
+                elapsed_ms,
+            });
+        }
+    }
+
+    // --- Thread-scaling block: one million-vertex LDD, fixed shard count,
+    // 1/2/4/8 worker threads — states and meters asserted invariant.
+    let mesh = gen::mesh(1000, 1000);
+    let centers: Vec<usize> = (0..1024).map(|i| (i * mesh.n()) / 1024).collect();
+    let ldd = VoronoiLddProgram::new(mesh.n(), &centers);
+    let mut thread_base: Option<mfd_runtime::ShardedExecution<_>> = None;
+    for threads in [1, 2, 4, 8] {
+        let (run, elapsed_ms) = sharded_run(&mesh, &ldd, 64, threads);
+        if let Some(base) = &thread_base {
+            assert_eq!(
+                run.states, base.states,
+                "mesh-1000x1000/ldd: states must be thread-invariant"
+            );
+            assert_eq!(run.messages, base.messages);
+            assert_eq!(run.arena, base.arena, "arena HWMs must be thread-invariant");
+        }
+        rows.push(ScaleRow {
+            engine: "sharded",
+            graph: "mesh-1000x1000".to_string(),
+            n: mesh.n(),
+            m: mesh.m(),
+            program: "voronoi-ldd-1024".to_string(),
+            shards: Some(64),
+            threads: Some(threads),
+            rounds: run.rounds,
+            messages: run.messages,
+            digest_head: None,
+            mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
+            route_hwm: Some(run.arena.route_slots_hwm as u64),
+            elapsed_ms,
+        });
+        if thread_base.is_none() {
+            thread_base = Some(run);
+        }
+    }
+    // Shard-count invariance at the same scale (shard count changes routing
+    // and arena layout, so only states and the meter must agree).
+    let (run17, _) = sharded_run(&mesh, &ldd, 17, 0);
+    let base = thread_base.as_ref().expect("thread block ran");
+    assert_eq!(
+        run17.states, base.states,
+        "mesh-1000x1000/ldd: states must be shard-invariant"
+    );
+    assert_eq!(run17.rounds, base.rounds);
+    assert_eq!(run17.messages, base.messages);
+
+    // --- Million-vertex flagship block: BFS / LDD on every streaming
+    // generator family, all cores.
+    let flagship: [(&str, CsrGraph); 3] = [
+        ("mesh-1000x1000", mesh),
+        ("rmat-20-ef4", gen::rmat(20, 4, 0x6d6664)),
+        (
+            "power-law-2^20",
+            gen::power_law(1 << 20, 4 << 20, 2.5, 0x6d6664),
+        ),
+    ];
+    for (name, g) in &flagship {
+        let (run, elapsed_ms) = sharded_run(g, &BfsProgram { root: 0 }, 64, 0);
+        assert!(run.messages > 0, "{name}: bfs must flood");
+        rows.push(ScaleRow {
+            engine: "sharded",
+            graph: name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            program: "bfs".to_string(),
+            shards: Some(64),
+            threads: None,
+            rounds: run.rounds,
+            messages: run.messages,
+            digest_head: None,
+            mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
+            route_hwm: Some(run.arena.route_slots_hwm as u64),
+            elapsed_ms,
+        });
+
+        let centers: Vec<usize> = (0..1024).map(|i| (i * g.n()) / 1024).collect();
+        let ldd = VoronoiLddProgram::new(g.n(), &centers);
+        let (run, elapsed_ms) = sharded_run(g, &ldd, 64, 0);
+        rows.push(ScaleRow {
+            engine: "sharded",
+            graph: name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            program: "voronoi-ldd-1024".to_string(),
+            shards: Some(64),
+            threads: None,
+            rounds: run.rounds,
+            messages: run.messages,
+            digest_head: None,
+            mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
+            route_hwm: Some(run.arena.route_slots_hwm as u64),
+            elapsed_ms,
+        });
+    }
+
+    // --- Executed (ε, D, T) at a million vertices, through the CSR
+    // representation boundary (the construction pipeline itself runs on the
+    // unsharded engine — see `build_edt_csr`). The mesh family: power-law
+    // EDT is dominated by the hub clusters' gathers and does not finish in
+    // CI time past n ≈ 2^14.
+    let (name, g) = &flagship[0];
+    let t0 = std::time::Instant::now();
+    let (d, meter) = build_edt_csr(g, &EdtConfig::new(EDT_SCALE_EPSILON), &Executed::default());
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        d.epsilon_achieved <= EDT_SCALE_EPSILON,
+        "{name}: executed EDT must meet its ε target"
+    );
+    assert!(d.clustering.num_clusters() >= 1);
+    rows.push(ScaleRow {
+        engine: "executor",
+        graph: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        program: format!("edt-eps-{EDT_SCALE_EPSILON}"),
+        shards: None,
+        threads: None,
+        rounds: meter.rounds(),
+        messages: meter.messages(),
+        digest_head: None,
+        mailbox_hwm: None,
+        route_hwm: None,
+        elapsed_ms,
+    });
+
+    let mut table = Table::new(
+        "R7 — scale: sharded CSR executor at 10^6 vertices \
+         (sharded rows asserted bit-identical to the unsharded engine / across \
+         shard and thread counts in-process; wall-clock columns are ungated)",
+        &[
+            "graph",
+            "program",
+            "engine",
+            "shards",
+            "threads",
+            "rounds",
+            "messages",
+            "mail hwm",
+            "route hwm",
+            "ms",
+            "Mmsg/s",
+        ],
+    );
+    for r in &rows {
+        let secs = (r.elapsed_ms / 1e3).max(1e-9);
+        table.row(vec![
+            r.graph.clone(),
+            r.program.clone(),
+            r.engine.to_string(),
+            r.shards.map_or("-".to_string(), |s| s.to_string()),
+            r.threads.map_or("all".to_string(), |t| t.to_string()),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            r.mailbox_hwm.map_or("-".to_string(), |x| x.to_string()),
+            r.route_hwm.map_or("-".to_string(), |x| x.to_string()),
+            format!("{:.1}", r.elapsed_ms),
+            f3(r.messages as f64 / secs / 1e6),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/scale/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(ScaleRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let path = "BENCH_scale.json";
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    println!("wrote {path} ({} series)", rows.len());
+}
+
+/// ε target for the million-vertex executed (ε, D, T) row. At 0.5 the
+/// construction takes ~70s on the mesh-1000x1000 family in release mode
+/// (2866 rounds, 7·10⁸ messages, achieved ε ≈ 0.20) — the largest target
+/// that still demonstrates a non-trivial decomposition in CI time.
+const EDT_SCALE_EPSILON: f64 = 0.5;

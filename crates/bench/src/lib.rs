@@ -5,6 +5,9 @@
 //! a bench target in `benches/` (which prints its table before the timing loops, so
 //! `cargo bench` output contains the measured series) or by the `report` binary
 //! (`cargo run --release -p mfd-bench --bin report`), which prints every table.
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-bench").
 
 use mfd_graph::{generators, Graph};
 use mfd_routing::walks::WalkParams;

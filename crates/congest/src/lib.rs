@@ -48,6 +48,9 @@
 //! Differential tests in `mfd-core` keep the two modes honest against each
 //! other: the executed ports must produce the same outputs as their metered
 //! counterparts with round counts within the paper's bounds.
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-congest").
 
 pub mod meter;
 pub mod primitives;

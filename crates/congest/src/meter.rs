@@ -243,6 +243,23 @@ impl RoundMeter {
         (max_on_edge, Ok(()))
     }
 
+    /// Records one synchronous round whose messages were already validated
+    /// by the submitting engine: `messages` delivered, `max_words_on_edge`
+    /// the largest per-directed-edge word load the engine observed.
+    ///
+    /// This is the flat-storage counterpart of [`RoundMeter::round`] for
+    /// engines that cannot (or need not) hand over a [`Graph`]: the sharded
+    /// executor validates edge membership at send time (sorted-CSR binary
+    /// search) and accounts per-edge loads exactly at commit time — every
+    /// directed edge has a unique source vertex, so per-source accounting
+    /// covers each edge once. The accumulated totals are identical to what
+    /// [`RoundMeter::round`] would have recorded for the same round.
+    pub fn seal_validated_round(&mut self, messages: u64, max_words_on_edge: usize) {
+        self.rounds += 1;
+        self.messages += messages;
+        self.max_words_on_edge = self.max_words_on_edge.max(max_words_on_edge);
+    }
+
     /// Records `r` rounds without individual message verification.
     ///
     /// Used for sub-routines whose per-round message pattern is provably within

@@ -55,7 +55,7 @@
 //! Table 1.
 
 use mfd_congest::RoundMeter;
-use mfd_graph::Graph;
+use mfd_graph::{CsrGraph, Graph};
 use mfd_routing::backend::{Executed, GatherBackend, GatherEngine, GatherJob, Metered};
 use mfd_routing::gather::GatherStrategy;
 use mfd_trace::TraceSink;
@@ -301,6 +301,26 @@ pub fn build_edt_with<B: EdtBackend>(
     backend: &B,
 ) -> (EdtDecomposition, RoundMeter) {
     build_edt_traced(g, config, backend, &mut ())
+}
+
+/// [`build_edt_with`] taking the flat [`CsrGraph`] storage the scale
+/// pipeline produces (streaming generators, sharded executor).
+///
+/// This is the representation boundary of the construction: the
+/// decomposition machinery (clusterings, merge steps, refinement) operates
+/// on the adjacency-map [`Graph`], so the CSR input is converted **once**
+/// here — an O(n + m) copy that is negligible against the construction
+/// itself — and everything downstream, including the returned
+/// [`EdtDecomposition`], refers to the converted graph's (identical) vertex
+/// numbering. Conversion is lossless, so the decomposition and meter are
+/// bit-identical to calling [`build_edt_with`] on
+/// [`CsrGraph::to_graph`]'s result directly.
+pub fn build_edt_csr<B: EdtBackend>(
+    g: &CsrGraph,
+    config: &EdtConfig,
+    backend: &B,
+) -> (EdtDecomposition, RoundMeter) {
+    build_edt_with(&g.to_graph(), config, backend)
 }
 
 /// [`build_edt_with`] with phase observability: every merge iteration,
@@ -565,14 +585,15 @@ fn refine_step<B: EdtBackend>(
 ) -> Clustering {
     let mut sub_label = vec![0usize; g.n()];
     let mut jobs: Vec<GatherJob> = Vec::new();
-    for c in 0..clustering.num_clusters() {
+    // One shared pass instead of a per-cluster mask + induced-diameter BFS:
+    // the masks alone cost O(n·k) and dominate million-vertex runs.
+    let diameters = clustering.cluster_diameters(g);
+    for (c, diam) in diameters.into_iter().enumerate() {
         let members = clustering.members(c).to_vec();
         if members.len() <= 1 {
             continue;
         }
-        let mask = clustering.mask(c);
-        let diam = g.induced_diameter(&mask).unwrap_or(usize::MAX);
-        if diam <= d_target {
+        if diam.unwrap_or(usize::MAX) <= d_target {
             continue;
         }
         let (sub, map) = g.induced_subgraph(&members);

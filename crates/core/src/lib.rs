@@ -42,6 +42,10 @@
 //! assert!(decomposition.diameter >= 1);
 //! assert!(meter.rounds() > 0);
 //! ```
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-core"); the reproducibility
+//! contract the decomposition upholds is spelled out in `docs/DETERMINISM.md`.
 
 pub mod cluster_round;
 pub mod clustering;
@@ -56,7 +60,8 @@ pub mod programs;
 
 pub use cluster_round::{ClusterRoundProgram, ClusterRoundState};
 pub use clustering::Clustering;
-pub use edt::{build_edt, build_edt_with, EdtBackend, EdtConfig, EdtDecomposition};
+pub use edt::{build_edt, build_edt_csr, build_edt_with, EdtBackend, EdtConfig, EdtDecomposition};
 pub use programs::{
-    run_bfs, run_cole_vishkin, run_voronoi_ldd, BfsProgram, ColeVishkinProgram, VoronoiLddProgram,
+    run_bfs, run_bfs_csr, run_cole_vishkin, run_voronoi_ldd, run_voronoi_ldd_csr, BfsProgram,
+    ColeVishkinProgram, VoronoiLddProgram,
 };

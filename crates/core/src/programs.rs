@@ -18,9 +18,10 @@
 //! All three run in the strict 1-word-per-edge-per-round CONGEST model.
 
 use mfd_congest::RoundMeter;
-use mfd_graph::Graph;
+use mfd_graph::{CsrGraph, Graph};
 use mfd_runtime::{
     Envelope, Execution, Executor, NodeCtx, NodeProgram, Outbox, RuntimeError, RuntimeMessage,
+    ShardedExecution, ShardedExecutor,
 };
 
 use crate::clustering::Clustering;
@@ -450,6 +451,82 @@ pub fn run_voronoi_ldd(
         .map(|(v, s)| s.center.map_or(v, |c| c as usize))
         .collect();
     Ok((Clustering::from_labels(g, labels), run.meter))
+}
+
+// ---------------------------------------------------------------------------
+// CSR / sharded entry points
+// ---------------------------------------------------------------------------
+
+/// [`run_bfs`] over flat [`CsrGraph`] storage on the sharded executor — the
+/// million-vertex entry point. The programs are graph-agnostic (they see
+/// only a [`NodeCtx`]), so with matching configuration this produces
+/// bit-identical states, meters, and digest chains to [`run_bfs`] on the
+/// adjacency-map graph.
+///
+/// # Errors
+///
+/// Propagates any [`RuntimeError`] from the executor.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn run_bfs_csr(
+    g: &CsrGraph,
+    root: usize,
+    executor: &ShardedExecutor,
+) -> Result<(BfsRun, RoundMeter), RuntimeError> {
+    assert!(root < g.n(), "BFS root out of range");
+    let run: ShardedExecution<BfsState> = executor.run(g, &BfsProgram { root })?;
+    let parent: Vec<usize> = run
+        .states
+        .iter()
+        .map(|s| s.parent.unwrap_or(usize::MAX))
+        .collect();
+    let depth: Vec<usize> = run
+        .states
+        .iter()
+        .map(|s| s.depth.map_or(usize::MAX, |d| d as usize))
+        .collect();
+    let height = depth
+        .iter()
+        .filter(|&&d| d != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    Ok((
+        BfsRun {
+            root,
+            parent,
+            depth,
+            height,
+        },
+        run.meter,
+    ))
+}
+
+/// [`run_voronoi_ldd`] over flat [`CsrGraph`] storage on the sharded
+/// executor. Returns the per-vertex cluster labels directly (unreached
+/// vertices label themselves, as in the centralized version) rather than a
+/// [`Clustering`], which at million-vertex scale the caller rarely needs;
+/// apply `Clustering::from_labels(&g.to_graph(), labels)` to materialize one.
+///
+/// # Errors
+///
+/// Propagates any [`RuntimeError`] from the executor.
+pub fn run_voronoi_ldd_csr(
+    g: &CsrGraph,
+    centers: &[usize],
+    executor: &ShardedExecutor,
+) -> Result<(Vec<usize>, RoundMeter), RuntimeError> {
+    let program = VoronoiLddProgram::new(g.n(), centers);
+    let run = executor.run(g, &program)?;
+    let labels: Vec<usize> = run
+        .states
+        .iter()
+        .enumerate()
+        .map(|(v, s)| s.center.map_or(v, |c| c as usize))
+        .collect();
+    Ok((labels, run.meter))
 }
 
 #[cfg(test)]

@@ -35,6 +35,10 @@
 //! numbered, acknowledged and retransmitted until delivered). They compose:
 //! the acceptance experiments run `Reliable<P>` under the very models that
 //! break raw `P`, and verify the delivered set comes back exactly.
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-faults"); the stateless fault
+//! fates are part of the contract in `docs/DETERMINISM.md`.
 
 pub mod election;
 pub mod experiments;

@@ -317,6 +317,32 @@ impl Graph {
     ///
     /// Panics if `vertices` contains duplicates or out-of-range indices.
     pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        // Callers like the per-cluster gathers induce one small cluster at a
+        // time; a dense index would cost O(n) per call — O(n·k) per
+        // decomposition iteration — so small vertex sets go through a hash
+        // map instead. Both paths visit the same edges in the same order.
+        if vertices.len().saturating_mul(8) < self.n() {
+            let mut new_index: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::with_capacity(vertices.len());
+            for (i, &v) in vertices.iter().enumerate() {
+                assert!(v < self.n(), "vertex out of range");
+                assert!(
+                    new_index.insert(v, i).is_none(),
+                    "duplicate vertex in induced_subgraph"
+                );
+            }
+            let mut sub = Graph::new(vertices.len());
+            for (i, &v) in vertices.iter().enumerate() {
+                for &w in &self.adj[v] {
+                    if let Some(&j) = new_index.get(&w) {
+                        if i < j {
+                            sub.add_edge(i, j);
+                        }
+                    }
+                }
+            }
+            return (sub, vertices.to_vec());
+        }
         let mut new_index = vec![usize::MAX; self.n()];
         for (i, &v) in vertices.iter().enumerate() {
             assert!(v < self.n(), "vertex out of range");

@@ -7,6 +7,11 @@
 //!   structural queries (degrees, BFS, diameter, connectivity, volumes, cuts,
 //!   conductance and sparsity of cuts), induced subgraphs and quotient (cluster)
 //!   graphs.
+//! * [`CsrGraph`] — the flat compressed-sparse-row counterpart used by the
+//!   sharded executor for million-vertex runs, with lossless conversions to
+//!   and from [`Graph`].
+//! * [`gen`] — streaming O(m) generators (R-MAT, power-law, large
+//!   triangulated meshes) that emit [`CsrGraph`]s directly.
 //! * [`WeightedGraph`] — an edge-weighted graph used for cluster graphs, where the
 //!   weight of an edge between two clusters is the number of original edges crossing
 //!   them.
@@ -35,7 +40,12 @@
 //! assert!(g.is_connected());
 //! assert!(is_planar(&g));
 //! ```
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-graph").
 
+pub mod csr;
+pub mod gen;
 pub mod generators;
 pub mod graph;
 pub mod planarity;
@@ -43,5 +53,6 @@ pub mod properties;
 pub mod recognition;
 pub mod weighted;
 
+pub use csr::CsrGraph;
 pub use graph::Graph;
 pub use weighted::WeightedGraph;

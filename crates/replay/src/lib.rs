@@ -108,6 +108,9 @@
 //! `replay` binary in `mfd-bench` exposes the same machinery as a
 //! time-travel debugger (run-to-round, dump, diff, verify), and
 //! `report --section replay` gates it in CI.
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-replay").
 
 pub mod codec;
 pub mod journal;

@@ -57,6 +57,9 @@
 //!   planning is free leader-local work, and one schedule can serve many
 //!   clusters (Lemma 2.6). On low-degree-leader clusters its good fraction
 //!   collapses and [`gather::gather_to_leader`] falls back to the tree.
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-routing").
 
 pub mod backend;
 pub mod gather;

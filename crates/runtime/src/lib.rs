@@ -28,6 +28,12 @@
 //!   ([`NodeProgram::quiescent`]); the executor then skips sleeping vertices
 //!   and ends the run at a global fixpoint, so wave-style programs pay per
 //!   round for their frontier, not for the whole graph.
+//! * **Scale.** [`ShardedExecutor`] runs the same semantics over
+//!   [`mfd_graph::CsrGraph`] flat storage — vertices partitioned into
+//!   contiguous shards with shard-local double-buffered mailboxes, an
+//!   exchange-style message router, and pooled buffers — for
+//!   million-vertex runs, bit-identical to [`Executor`] across shard and
+//!   thread counts.
 //!
 //! The per-vertex driving logic (inbox contract, validated sends, halting) is
 //! factored into [`driver`] and shared with the asynchronous discrete-event
@@ -79,12 +85,19 @@
 //! assert_eq!(run.states[2], 4); // vertex 2 heard about vertex 4
 //! ```
 
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-runtime"); the reproducibility
+//! contract both engines uphold is spelled out in `docs/DETERMINISM.md`.
+
 pub mod cluster;
 pub mod driver;
 pub mod executor;
 pub mod program;
+pub mod sharded;
 
 pub use cluster::{run_on_clusters, ClusterExecution};
 pub use driver::VertexRound;
 pub use executor::{ExecCheckpoint, Execution, Executor, ExecutorConfig, RuntimeError};
 pub use program::{Envelope, NodeCtx, NodeProgram, NodeRng, Outbox, RuntimeMessage};
+pub use sharded::{ArenaStats, ShardedConfig, ShardedExecution, ShardedExecutor};

@@ -1,0 +1,835 @@
+//! The sharded CSR executor: the same round-synchronous CONGEST semantics as
+//! [`crate::Executor`], restructured for million-vertex graphs.
+//!
+//! # Architecture
+//!
+//! Vertices are partitioned into `shards` contiguous ranges. Each shard owns
+//! its slice of every per-vertex array — states, halted flags, and
+//! **shard-local double-buffered mailboxes** — so the per-round sweep is a
+//! rayon-parallel pass over shards with no shared mutable state. Outgoing
+//! sends are routed exchange-style: each shard buckets its sends by
+//! destination shard during the sweep, and a delivery pass concatenates the
+//! buckets addressed to each shard **in ascending source-shard order**.
+//! Because shards are ascending vertex ranges and every shard commits its
+//! vertices in ascending order, each destination mailbox receives messages in
+//! ascending sender order — exactly the inbox ordering the unsharded
+//! executor's sequential commit produces. All mailbox and bucket `Vec`s are
+//! pooled across rounds (cleared, never dropped), so a steady-state round
+//! allocates nothing; [`ArenaStats`] reports the pools' high-water marks as a
+//! peak-memory proxy.
+//!
+//! # Determinism
+//!
+//! Bit-identical to [`crate::Executor`] across shard counts and thread
+//! counts: states, meters, and digest chains all match (differentially
+//! tested on the acceptance families, and asserted in-process by the `scale`
+//! benchmark section). Per-vertex randomness is stateless in
+//! `(seed, vertex, round)`; observer hooks fire only at sequential points
+//! between parallel passes; model violations are resolved in vertex order.
+//! Events are tagged [`EngineKind::Executor`] — this engine implements the
+//! identical synchronous semantics, so its digest chains are directly
+//! comparable with the unsharded executor's.
+//!
+//! The CONGEST model is enforced exactly as in the unsharded engine:
+//! non-edge sends are caught at send time by the [`crate::Outbox`]'s binary
+//! search over the sorted CSR neighbor slice, and per-directed-edge
+//! bandwidth is accounted shard-locally at commit time (each directed edge
+//! has a unique source vertex, so per-source accounting covers every edge
+//! exactly once) and folded into the same [`RoundMeter`] totals.
+
+use mfd_congest::{CongestError, RoundMeter};
+use mfd_graph::CsrGraph;
+use mfd_trace::{EngineKind, Event, NullSink, RunObserver};
+use rayon::prelude::*;
+
+use crate::driver::{self, VertexRound};
+use crate::executor::{ExecutorConfig, RuntimeError};
+use crate::program::{Envelope, NodeCtx, NodeProgram};
+
+/// Configuration for a [`ShardedExecutor`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Contiguous vertex shards (clamped to at least 1). More shards expose
+    /// more parallelism to the sweep; the outputs are shard-count-invariant.
+    pub shards: usize,
+    /// Worker threads for the per-round shard sweep (0 = all available).
+    pub threads: usize,
+    /// Upper bound on executed rounds, as in [`ExecutorConfig::max_rounds`].
+    pub max_rounds: u64,
+    /// Per-edge, per-direction bandwidth in 64-bit words per round.
+    pub capacity_words: usize,
+    /// Seed for the deterministic per-vertex RNG streams.
+    pub seed: u64,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        let exec = ExecutorConfig::default();
+        ShardedConfig {
+            shards: 8,
+            threads: 0,
+            max_rounds: exec.max_rounds,
+            capacity_words: exec.capacity_words,
+            seed: exec.seed,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A sharded config running the same model parameters (budget, capacity,
+    /// seed) as an unsharded [`ExecutorConfig`] — the differential-testing
+    /// constructor: two engines configured this way must produce identical
+    /// runs.
+    pub fn matching(exec: &ExecutorConfig, shards: usize) -> Self {
+        ShardedConfig {
+            shards,
+            threads: exec.threads,
+            max_rounds: exec.max_rounds,
+            capacity_words: exec.capacity_words,
+            seed: exec.seed,
+        }
+    }
+
+    /// Config with explicit shard and thread counts, defaults elsewhere.
+    pub fn with_shards_threads(shards: usize, threads: usize) -> Self {
+        ShardedConfig {
+            shards,
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// High-water marks of the executor's pooled buffers: a deterministic peak
+/// memory proxy (counts of live [`Envelope`] slots, not bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Peak envelopes resident in the delivery mailboxes after any round's
+    /// exchange.
+    pub mailbox_slots_hwm: usize,
+    /// Peak envelopes staged in the exchange route buckets after any round's
+    /// sweep.
+    pub route_slots_hwm: usize,
+}
+
+/// Result of a completed sharded execution.
+#[derive(Debug)]
+pub struct ShardedExecution<S> {
+    /// Final state of every vertex, in vertex order.
+    pub states: Vec<S>,
+    /// The meter that accounted every executed round.
+    pub meter: RoundMeter,
+    /// Rounds executed (equals `meter.rounds()`).
+    pub rounds: u64,
+    /// Messages delivered (equals `meter.messages()`).
+    pub messages: u64,
+    /// Pooled-buffer high-water marks (peak memory proxy).
+    pub arena: ArenaStats,
+}
+
+/// The sharded, CSR-native, round-synchronous CONGEST engine (see the
+/// module docs for the architecture and determinism argument).
+#[derive(Debug, Default)]
+pub struct ShardedExecutor {
+    config: ShardedConfig,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl ShardedExecutor {
+    /// Creates an executor from a configuration.
+    pub fn new(config: ShardedConfig) -> Self {
+        let pool = (config.threads > 0).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(config.threads)
+                .build()
+                .expect("thread pool construction cannot fail")
+        });
+        ShardedExecutor { config, pool }
+    }
+
+    /// The configuration this executor runs with.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Runs `program` on every vertex of `g` until all vertices halt.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::Executor::run`]: [`RuntimeError::Model`] on a
+    /// CONGEST violation, [`RuntimeError::RoundLimit`] past the budget.
+    pub fn run<P: NodeProgram>(
+        &self,
+        g: &CsrGraph,
+        program: &P,
+    ) -> Result<ShardedExecution<P::State>, RuntimeError> {
+        self.run_traced(g, program, &mut NullSink)
+    }
+
+    /// [`ShardedExecutor::run`] with an observer receiving the same event
+    /// stream and per-round state digests as [`crate::Executor::run_traced`]
+    /// — same states, same seal points, same digest chain.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ShardedExecutor::run`].
+    pub fn run_traced<P: NodeProgram, O: RunObserver<P::State>>(
+        &self,
+        g: &CsrGraph,
+        program: &P,
+        observer: &mut O,
+    ) -> Result<ShardedExecution<P::State>, RuntimeError> {
+        let mut f = || {
+            let mut engine = ShardedEngine::fresh(&self.config, g, program, observer);
+            engine.drive()?;
+            Ok(engine.finish())
+        };
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+}
+
+/// One destination-shard bucket: `(destination vertex, envelope)` in send
+/// order.
+type Bucket<M> = Vec<(usize, Envelope<M>)>;
+
+/// One shard's slice of the engine state: everything indexed by local vertex
+/// (`global = start + local`), plus the pooled per-round buffers.
+struct ShardState<S, M> {
+    start: usize,
+    end: usize,
+    states: Vec<S>,
+    halted: Vec<bool>,
+    inbox: Vec<Vec<Envelope<M>>>,
+    next_inbox: Vec<Vec<Envelope<M>>>,
+    /// This round's active vertices (local indices), pooled.
+    active: Vec<usize>,
+    /// Outgoing buckets, one per destination shard, pooled.
+    out: Vec<Bucket<M>>,
+    /// Incoming buckets, one per source shard, staged between sweep and
+    /// delivery.
+    in_buckets: Vec<Bucket<M>>,
+    /// Per-neighbor word accumulator for bandwidth accounting, pooled.
+    scratch: Vec<usize>,
+    /// Accumulator positions touched for the current vertex, pooled.
+    touched: Vec<usize>,
+    /// `(local vertex, inbox length, sends)` per active vertex, recorded
+    /// only when tracing is enabled.
+    meta: Vec<(usize, usize, usize)>,
+    /// Messages this shard sent this round.
+    msgs: u64,
+    /// Largest per-directed-edge word load this shard produced this round.
+    max_on_edge: usize,
+    /// First non-edge send this round (vertex order), if any.
+    send_violation: Option<CongestError>,
+    /// First bandwidth overcommitment this round (vertex order), if any.
+    bw_violation: Option<CongestError>,
+}
+
+impl<S: Send + Sync, M: Send + Sync> ShardState<S, M> {
+    /// Scans this shard's slice of the frontier: records active local
+    /// vertices and reports `(every vertex halted, active count)`.
+    fn scan<P>(
+        &mut self,
+        program: &P,
+        g: &CsrGraph,
+        n: usize,
+        round: u64,
+        seed: u64,
+    ) -> (bool, usize)
+    where
+        P: NodeProgram<State = S, Msg = M>,
+    {
+        self.active.clear();
+        let mut all_halted = true;
+        for local in 0..self.end - self.start {
+            if self.halted[local] {
+                continue;
+            }
+            all_halted = false;
+            let v = self.start + local;
+            if !self.inbox[local].is_empty()
+                || !program.quiescent(
+                    &NodeCtx::new(v, n, round, g.neighbors(v), seed),
+                    &self.states[local],
+                )
+            {
+                self.active.push(local);
+            }
+        }
+        (all_halted, self.active.len())
+    }
+
+    /// Runs one round on this shard's active vertices, bucketing sends by
+    /// destination shard and accounting bandwidth per directed edge.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep<P>(
+        &mut self,
+        program: &P,
+        g: &CsrGraph,
+        n: usize,
+        round: u64,
+        seed: u64,
+        chunk: usize,
+        capacity_words: usize,
+        trace: bool,
+    ) where
+        P: NodeProgram<State = S, Msg = M>,
+    {
+        self.msgs = 0;
+        self.max_on_edge = 0;
+        self.send_violation = None;
+        self.bw_violation = None;
+        self.meta.clear();
+        for i in 0..self.active.len() {
+            let local = self.active[i];
+            let v = self.start + local;
+            let neighbors = g.neighbors(v);
+            let ctx = NodeCtx::new(v, n, round, neighbors, seed);
+            let VertexRound {
+                sends,
+                halted,
+                violation,
+            } = driver::step_vertex(program, &ctx, &mut self.states[local], &self.inbox[local]);
+            self.halted[local] = halted;
+            if let (None, Some(err)) = (&self.send_violation, violation) {
+                self.send_violation = Some(err);
+            }
+            if trace {
+                self.meta
+                    .push((local, self.inbox[local].len(), sends.len()));
+            }
+            // Per-edge bandwidth: each directed edge (v, dst) is loaded only
+            // by sends from this vertex, so a local accumulator over the
+            // neighbor slice accounts it exactly.
+            if self.scratch.len() < neighbors.len() {
+                self.scratch.resize(neighbors.len(), 0);
+            }
+            self.touched.clear();
+            self.msgs += sends.len() as u64;
+            for &(dst, _, words) in &sends {
+                let idx = neighbors
+                    .binary_search(&dst)
+                    .expect("outbox only admits neighbor sends");
+                if self.scratch[idx] == 0 {
+                    self.touched.push(idx);
+                }
+                self.scratch[idx] += words;
+            }
+            for &idx in &self.touched {
+                let load = self.scratch[idx];
+                self.scratch[idx] = 0;
+                self.max_on_edge = self.max_on_edge.max(load);
+                if load > capacity_words && self.bw_violation.is_none() {
+                    self.bw_violation = Some(CongestError::BandwidthExceeded {
+                        src: v,
+                        dst: neighbors[idx],
+                        words: load,
+                        capacity: capacity_words,
+                    });
+                }
+            }
+            for (dst, msg, _) in sends {
+                self.out[dst / chunk].push((dst, Envelope { src: v, msg }));
+            }
+        }
+    }
+
+    /// Envelopes staged in this shard's outgoing buckets.
+    fn route_slots(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Drains the staged incoming buckets (ascending source shard, so
+    /// ascending sender order) into the next-round mailboxes, then swaps the
+    /// double buffer. Returns the envelopes now resident in the readable
+    /// mailboxes.
+    fn deliver(&mut self) -> usize {
+        let ShardState {
+            start,
+            in_buckets,
+            inbox,
+            next_inbox,
+            ..
+        } = self;
+        for bucket in in_buckets.iter_mut() {
+            for (dst, env) in bucket.drain(..) {
+                next_inbox[dst - *start].push(env);
+            }
+        }
+        for mailbox in inbox.iter_mut() {
+            mailbox.clear();
+        }
+        std::mem::swap(inbox, next_inbox);
+        inbox.iter().map(Vec::len).sum()
+    }
+}
+
+/// One step outcome (mirrors the unsharded engine).
+enum Stepped {
+    Sealed,
+    Done,
+}
+
+struct ShardedEngine<'a, P: NodeProgram, O> {
+    g: &'a CsrGraph,
+    program: &'a P,
+    observer: &'a mut O,
+    n: usize,
+    seed: u64,
+    max_rounds: u64,
+    capacity_words: usize,
+    /// Vertices per shard (`shard_of(v) = v / chunk`).
+    chunk: usize,
+    shards: Vec<ShardState<P::State, P::Msg>>,
+    /// Bucket transfer matrix, `xfer[dst][src]`, pooled across rounds.
+    xfer: Vec<Vec<Bucket<P::Msg>>>,
+    meter: RoundMeter,
+    arena: ArenaStats,
+    round: u64,
+}
+
+impl<'a, P, O> ShardedEngine<'a, P, O>
+where
+    P: NodeProgram,
+    O: RunObserver<P::State>,
+{
+    fn fresh(config: &ShardedConfig, g: &'a CsrGraph, program: &'a P, observer: &'a mut O) -> Self {
+        let n = g.n();
+        let seed = config.seed;
+        let num_shards = config.shards.max(1);
+        let chunk = n.div_ceil(num_shards).max(1);
+        let mut shards: Vec<ShardState<P::State, P::Msg>> = (0..num_shards)
+            .map(|s| {
+                let start = (s * chunk).min(n);
+                let end = ((s + 1) * chunk).min(n);
+                ShardState {
+                    start,
+                    end,
+                    states: Vec::new(),
+                    halted: Vec::new(),
+                    inbox: (start..end).map(|_| Vec::new()).collect(),
+                    next_inbox: (start..end).map(|_| Vec::new()).collect(),
+                    active: Vec::new(),
+                    out: (0..num_shards).map(|_| Vec::new()).collect(),
+                    in_buckets: Vec::new(),
+                    scratch: Vec::new(),
+                    touched: Vec::new(),
+                    meta: Vec::new(),
+                    msgs: 0,
+                    max_on_edge: 0,
+                    send_violation: None,
+                    bw_violation: None,
+                }
+            })
+            .collect();
+        // Parallel init of states and halted flags, shard by shard.
+        let _: Vec<()> = shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(_, shard)| {
+                shard.states = (shard.start..shard.end)
+                    .map(|v| program.init(&NodeCtx::new(v, n, 0, g.neighbors(v), seed)))
+                    .collect();
+                shard.halted = (shard.start..shard.end)
+                    .map(|v| {
+                        program.halted(
+                            &NodeCtx::new(v, n, 0, g.neighbors(v), seed),
+                            &shard.states[v - shard.start],
+                        )
+                    })
+                    .collect();
+            })
+            .collect();
+
+        let engine = ShardedEngine {
+            g,
+            program,
+            observer,
+            n,
+            seed,
+            max_rounds: config
+                .max_rounds
+                .min(program.round_budget_hint().unwrap_or(u64::MAX)),
+            capacity_words: config.capacity_words,
+            chunk,
+            shards,
+            xfer: (0..num_shards)
+                .map(|_| (0..num_shards).map(|_| Vec::new()).collect())
+                .collect(),
+            meter: RoundMeter::with_capacity(config.capacity_words),
+            arena: ArenaStats::default(),
+            round: 0,
+        };
+        // Round 0: digest the initial configuration, exactly as the
+        // unsharded engine does.
+        if O::ENABLED {
+            for shard in &engine.shards {
+                for (local, state) in shard.states.iter().enumerate() {
+                    engine.observer.vertex_state(
+                        EngineKind::Executor,
+                        0,
+                        shard.start + local,
+                        state,
+                    );
+                }
+            }
+            engine.observer.round_sealed(EngineKind::Executor, 0);
+        }
+        engine
+    }
+
+    fn drive(&mut self) -> Result<(), RuntimeError> {
+        while let Stepped::Sealed = self.step()? {}
+        Ok(())
+    }
+
+    /// Executes one full round: parallel frontier scan, parallel shard sweep,
+    /// sequential violation/observer/meter resolution, parallel exchange
+    /// delivery, buffer swap.
+    fn step(&mut self) -> Result<Stepped, RuntimeError> {
+        let round = self.round + 1;
+        let (n, seed, chunk) = (self.n, self.seed, self.chunk);
+        let program = self.program;
+        let g = self.g;
+        // Frontier scan (parallel over shards): active vertices per shard.
+        let scans: Vec<(bool, usize)> = self
+            .shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(_, shard)| shard.scan(program, g, n, round, seed))
+            .collect();
+        if scans.iter().all(|&(all_halted, _)| all_halted) {
+            return Ok(Stepped::Done);
+        }
+        let active: usize = scans.iter().map(|&(_, a)| a).sum();
+        if active == 0 {
+            return Ok(Stepped::Done);
+        }
+        self.round = round;
+        if round > self.max_rounds {
+            return Err(RuntimeError::RoundLimit {
+                limit: self.max_rounds,
+            });
+        }
+        if O::ENABLED {
+            self.observer.event(&Event::RoundOpen {
+                engine: EngineKind::Executor,
+                round,
+                active,
+            });
+        }
+        // Parallel shard sweep over the active frontier only.
+        let capacity = self.capacity_words;
+        let _: Vec<()> = self
+            .shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(_, shard)| shard.sweep(program, g, n, round, seed, chunk, capacity, O::ENABLED))
+            .collect();
+
+        // Sequential resolution, in vertex order by construction (shards are
+        // ascending vertex ranges): non-edge sends first, then bandwidth —
+        // the same precedence as the unsharded engine.
+        if let Some(err) = self.shards.iter().find_map(|s| s.send_violation.clone()) {
+            return Err(RuntimeError::Model(err));
+        }
+        let route_slots: usize = self.shards.iter().map(ShardState::route_slots).sum();
+        self.arena.route_slots_hwm = self.arena.route_slots_hwm.max(route_slots);
+        let messages: u64 = self.shards.iter().map(|s| s.msgs).sum();
+        let max_on_edge = self.shards.iter().map(|s| s.max_on_edge).max().unwrap_or(0);
+        if O::ENABLED {
+            for shard in &self.shards {
+                for &(local, inbox, sent) in &shard.meta {
+                    let vertex = shard.start + local;
+                    self.observer.event(&Event::VertexStep {
+                        engine: EngineKind::Executor,
+                        round,
+                        vertex,
+                        inbox,
+                        sent,
+                    });
+                    self.observer.vertex_state(
+                        EngineKind::Executor,
+                        round,
+                        vertex,
+                        &shard.states[local],
+                    );
+                }
+            }
+        }
+        self.meter.seal_validated_round(messages, max_on_edge);
+        if let Some(err) = self.shards.iter().find_map(|s| s.bw_violation.clone()) {
+            return Err(RuntimeError::Model(err));
+        }
+        if O::ENABLED {
+            self.observer.event(&Event::RoundClose {
+                engine: EngineKind::Executor,
+                round,
+                messages: self.meter.messages(),
+            });
+            self.observer.round_sealed(EngineKind::Executor, round);
+        }
+
+        // Exchange: move each shard's outgoing buckets into the transfer
+        // matrix (O(shards²) pointer moves, payloads untouched), hand every
+        // destination its column, deliver in parallel, then return the
+        // emptied buckets to their owners for reuse.
+        {
+            let (shards, xfer) = (&mut self.shards, &mut self.xfer);
+            for (s, shard) in shards.iter_mut().enumerate() {
+                for (d, bucket) in shard.out.iter_mut().enumerate() {
+                    xfer[d][s] = std::mem::take(bucket);
+                }
+            }
+            for (d, shard) in shards.iter_mut().enumerate() {
+                shard.in_buckets = std::mem::take(&mut xfer[d]);
+            }
+        }
+        let delivered: Vec<usize> = self
+            .shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(_, shard)| shard.deliver())
+            .collect();
+        let mailbox_slots: usize = delivered.iter().sum();
+        self.arena.mailbox_slots_hwm = self.arena.mailbox_slots_hwm.max(mailbox_slots);
+        {
+            let (shards, xfer) = (&mut self.shards, &mut self.xfer);
+            for (d, shard) in shards.iter_mut().enumerate() {
+                xfer[d] = std::mem::take(&mut shard.in_buckets);
+            }
+            for (s, shard) in shards.iter_mut().enumerate() {
+                for (d, row) in xfer.iter_mut().enumerate() {
+                    shard.out[d] = std::mem::take(&mut row[s]);
+                }
+            }
+        }
+        Ok(Stepped::Sealed)
+    }
+
+    fn finish(self) -> ShardedExecution<P::State> {
+        let mut states = Vec::with_capacity(self.n);
+        for shard in self.shards {
+            states.extend(shard.states);
+        }
+        ShardedExecution {
+            rounds: self.meter.rounds(),
+            messages: self.meter.messages(),
+            states,
+            meter: self.meter,
+            arena: self.arena,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::program::Outbox;
+    use mfd_graph::generators;
+    use mfd_trace::DigestSink;
+
+    /// Mixer from the unsharded tests: state evolution depends on inbox
+    /// order, per-vertex RNG, and round count — a determinism probe.
+    struct Mixer {
+        rounds: u64,
+    }
+
+    impl NodeProgram for Mixer {
+        type State = u64;
+        type Msg = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> u64 {
+            ctx.id as u64
+        }
+
+        fn round(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut u64,
+            inbox: &[Envelope<u64>],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            for env in inbox {
+                *state = state.wrapping_mul(31).wrapping_add(env.msg);
+            }
+            *state = state.wrapping_add(ctx.rng().next_u64());
+            if ctx.round < self.rounds {
+                out.broadcast(*state);
+            }
+        }
+
+        fn halted(&self, ctx: &NodeCtx, _state: &u64) -> bool {
+            ctx.round >= self.rounds
+        }
+    }
+
+    #[test]
+    fn matches_unsharded_states_meter_and_digests_across_shards_and_threads() {
+        let g = generators::triangulated_grid(9, 7);
+        let csr = CsrGraph::from_graph(&g);
+        let program = Mixer { rounds: 6 };
+        let exec_cfg = ExecutorConfig::default();
+        let mut reference_sink = DigestSink::new();
+        let reference = Executor::new(exec_cfg.clone())
+            .run_traced(&g, &program, &mut reference_sink)
+            .unwrap();
+        for shards in [1, 2, 3, 8, 64] {
+            for threads in [1, 4] {
+                let mut cfg = ShardedConfig::matching(&exec_cfg, shards);
+                cfg.threads = threads;
+                let mut sink = DigestSink::new();
+                let run = ShardedExecutor::new(cfg)
+                    .run_traced(&csr, &program, &mut sink)
+                    .unwrap();
+                assert_eq!(run.states, reference.states, "s={shards} t={threads}");
+                assert_eq!(run.rounds, reference.rounds);
+                assert_eq!(run.messages, reference.messages);
+                assert_eq!(
+                    run.meter.max_words_on_edge(),
+                    reference.meter.max_words_on_edge()
+                );
+                assert_eq!(sink.heads, reference_sink.heads, "digest chains");
+            }
+        }
+    }
+
+    #[test]
+    fn non_edge_send_is_rejected_like_the_unsharded_engine() {
+        struct NonEdgeSender;
+        impl NodeProgram for NonEdgeSender {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if ctx.id == 0 {
+                    out.send(ctx.n - 1, 9);
+                }
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+                ctx.round >= 1
+            }
+        }
+        let csr = CsrGraph::from_graph(&generators::path(5));
+        let err = ShardedExecutor::new(ShardedConfig::default())
+            .run(&csr, &NonEdgeSender)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Model(CongestError::NotAnEdge { src: 0, dst: 4 })
+        );
+    }
+
+    #[test]
+    fn bandwidth_overcommitment_is_rejected_and_capacity_respected() {
+        struct DoubleSender;
+        impl NodeProgram for DoubleSender {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<u64>],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if ctx.id == 0 {
+                    out.send(1, 1);
+                    out.send(1, 2);
+                }
+            }
+            fn halted(&self, ctx: &NodeCtx, _state: &()) -> bool {
+                ctx.round >= 1
+            }
+        }
+        let csr = CsrGraph::from_graph(&generators::path(3));
+        let err = ShardedExecutor::new(ShardedConfig::default())
+            .run(&csr, &DoubleSender)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Model(CongestError::BandwidthExceeded {
+                src: 0,
+                dst: 1,
+                words: 2,
+                capacity: 1,
+            })
+        );
+        let cfg = ShardedConfig {
+            capacity_words: 2,
+            ..ShardedConfig::default()
+        };
+        ShardedExecutor::new(cfg).run(&csr, &DoubleSender).unwrap();
+    }
+
+    #[test]
+    fn round_limit_guards_non_halting_programs() {
+        struct Spinner;
+        impl NodeProgram for Spinner {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx) {}
+            fn round(
+                &self,
+                _ctx: &NodeCtx,
+                _state: &mut (),
+                _inbox: &[Envelope<u64>],
+                _out: &mut Outbox<'_, u64>,
+            ) {
+            }
+            fn halted(&self, _ctx: &NodeCtx, _state: &()) -> bool {
+                false
+            }
+        }
+        let csr = CsrGraph::from_graph(&generators::path(3));
+        let cfg = ShardedConfig {
+            max_rounds: 10,
+            ..ShardedConfig::default()
+        };
+        assert_eq!(
+            ShardedExecutor::new(cfg).run(&csr, &Spinner).unwrap_err(),
+            RuntimeError::RoundLimit { limit: 10 }
+        );
+    }
+
+    #[test]
+    fn empty_graph_finishes_immediately() {
+        let csr = CsrGraph::from_graph(&mfd_graph::Graph::new(0));
+        let run = ShardedExecutor::new(ShardedConfig::default())
+            .run(&csr, &Mixer { rounds: 3 })
+            .unwrap();
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.messages, 0);
+        assert_eq!(run.arena, ArenaStats::default());
+    }
+
+    #[test]
+    fn arena_high_water_marks_are_deterministic_and_positive() {
+        let csr = CsrGraph::from_graph(&generators::triangulated_grid(8, 8));
+        let program = Mixer { rounds: 4 };
+        let runs: Vec<ArenaStats> = [1, 4]
+            .iter()
+            .map(|&threads| {
+                ShardedExecutor::new(ShardedConfig::with_shards_threads(4, threads))
+                    .run(&csr, &program)
+                    .unwrap()
+                    .arena
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "hwm must be thread-count-invariant");
+        // Every broadcast round stages 2m envelopes, all delivered.
+        assert_eq!(runs[0].route_slots_hwm, 2 * csr.m());
+        assert_eq!(runs[0].mailbox_slots_hwm, 2 * csr.m());
+    }
+}

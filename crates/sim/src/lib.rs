@@ -111,6 +111,9 @@
 //! *models* (i.i.d. and Gilbert–Elliott loss, chaos mixes, crash schedules)
 //! and the reliable-delivery adapter that repairs a lossy network live one
 //! layer up, in `mfd-faults`.
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-sim").
 
 pub mod faults;
 pub mod latency;

@@ -68,6 +68,10 @@
 //! simulator chain agree round for round on the cross-engine contract (and
 //! why [`divergence::first_divergence`] can binary-search the first round
 //! where two runs part ways).
+//!
+//! A guided tour of this crate's role in the workspace lives in
+//! `docs/ARCHITECTURE.md` (section "mfd-trace"); digest-chain semantics
+//! are spelled out in `docs/DETERMINISM.md`.
 
 pub mod digest;
 pub mod divergence;

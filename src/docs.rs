@@ -1,0 +1,14 @@
+//! The workspace books, embedded so their examples compile and run as
+//! doctests of this crate (`cargo test --doc -p mfd`).
+//!
+//! The sources live in `docs/` at the repository root; this module embeds
+//! them verbatim. Keeping them here means every Rust fence in the books is
+//! checked against the real APIs on every CI run — the books cannot drift.
+
+/// The guided tour of the workspace (embedded from `docs/ARCHITECTURE.md`).
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}
+
+/// The reproducibility contract (embedded from `docs/DETERMINISM.md`).
+#[doc = include_str!("../docs/DETERMINISM.md")]
+pub mod determinism {}

@@ -20,6 +20,11 @@
 //! * [`apps`] — applications (MIS, matching, cover, cut, testing).
 //! * [`bench`](mod@bench) — benchmark workloads, table formatting, and the
 //!   JSON tooling behind the CI regression gate.
+//!
+//! Start with [`docs::architecture`] for a guided tour of the workspace and
+//! [`docs::determinism`] for the reproducibility contract every PR must keep.
+
+pub mod docs;
 
 pub use mfd_apps as apps;
 pub use mfd_bench as bench;

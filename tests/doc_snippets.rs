@@ -1,0 +1,164 @@
+//! Structural lint for the workspace books in `docs/`.
+//!
+//! The Rust fences in the books are compiled and executed as doctests via
+//! `mfd::docs` (`cargo test --doc -p mfd`). What doctests cannot see is
+//! *structure*: an untagged code fence silently opts out of doctesting, a
+//! renamed heading silently breaks every `#anchor` link pointing at it, and
+//! a book can stop mentioning a crate without anything failing. This
+//! harness pins those down.
+
+const ARCHITECTURE: &str = include_str!("../docs/ARCHITECTURE.md");
+const DETERMINISM: &str = include_str!("../docs/DETERMINISM.md");
+const README: &str = include_str!("../README.md");
+
+/// Every fence opener must carry a language tag: `rust` (compiled and run
+/// as a doctest of `mfd::docs`) or `text` (deliberately inert). A bare
+/// ``` ``` ``` would be treated as Rust by rustdoc yet is almost always a
+/// diagram — force the author to choose.
+fn check_fences(name: &str, body: &str) -> usize {
+    let mut rust_fences = 0;
+    let mut open = false;
+    for (i, line) in body.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("```") {
+            continue;
+        }
+        if open {
+            assert_eq!(
+                trimmed,
+                "```",
+                "{name}:{}: fence closer must be bare ```",
+                i + 1
+            );
+            open = false;
+        } else {
+            let tag = trimmed.trim_start_matches('`');
+            assert!(
+                tag == "rust" || tag == "text",
+                "{name}:{}: fence opener must be tagged ```rust or ```text, got {trimmed:?}",
+                i + 1
+            );
+            if tag == "rust" {
+                rust_fences += 1;
+            }
+            open = true;
+        }
+    }
+    assert!(!open, "{name}: unclosed code fence");
+    rust_fences
+}
+
+#[test]
+fn every_fence_is_tagged_and_each_book_has_doctests() {
+    assert!(check_fences("ARCHITECTURE.md", ARCHITECTURE) >= 2);
+    assert!(check_fences("DETERMINISM.md", DETERMINISM) >= 2);
+}
+
+#[test]
+fn architecture_covers_every_crate() {
+    for krate in [
+        "mfd-graph",
+        "mfd-congest",
+        "mfd-runtime",
+        "mfd-sim",
+        "mfd-core",
+        "mfd-routing",
+        "mfd-faults",
+        "mfd-trace",
+        "mfd-replay",
+        "mfd-apps",
+        "mfd-bench",
+    ] {
+        assert!(
+            ARCHITECTURE.contains(&format!("\n## {krate}")),
+            "ARCHITECTURE.md lost its `## {krate}` section"
+        );
+    }
+}
+
+/// GitHub's slug for a heading: lowercased, spaces to dashes, punctuation
+/// dropped. Enough for the ASCII headings these books use.
+fn slugs(body: &str) -> Vec<String> {
+    body.lines()
+        .filter_map(|l| l.strip_prefix('#'))
+        .map(|h| {
+            h.trim_start_matches('#')
+                .trim()
+                .chars()
+                .filter_map(|c| match c {
+                    ' ' => Some('-'),
+                    c if c.is_ascii_alphanumeric() || c == '-' || c == '_' => {
+                        Some(c.to_ascii_lowercase())
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn cross_links_resolve() {
+    // (source, link target, required anchor in the target)
+    let links = [
+        (
+            "ARCHITECTURE.md",
+            ARCHITECTURE,
+            "DETERMINISM.md",
+            DETERMINISM,
+        ),
+        (
+            "DETERMINISM.md",
+            DETERMINISM,
+            "ARCHITECTURE.md",
+            ARCHITECTURE,
+        ),
+    ];
+    for (src_name, src, dst_name, dst) in links {
+        assert!(
+            src.contains(&format!("({dst_name})")) || src.contains(&format!("({dst_name}#")),
+            "{src_name} no longer links to {dst_name}"
+        );
+        // Every `(DST.md#anchor)` reference must name a real heading there.
+        let dst_slugs = slugs(dst);
+        for piece in src.split(&format!("({dst_name}#")).skip(1) {
+            let anchor = piece.split(')').next().unwrap();
+            assert!(
+                dst_slugs.iter().any(|s| s == anchor),
+                "{src_name} links to {dst_name}#{anchor}, but no such heading exists \
+                 (headings: {dst_slugs:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn readme_points_at_the_books() {
+    for book in ["docs/ARCHITECTURE.md", "docs/DETERMINISM.md"] {
+        assert!(
+            README.contains(book),
+            "README.md must link to {book} so the books are discoverable"
+        );
+    }
+}
+
+#[test]
+fn readme_lists_every_bench_section() {
+    // The README's benchmark ladder must mention every BENCH_*.json the
+    // report binary can emit — this is exactly the drift the docs issue
+    // was opened about.
+    for section in [
+        "BENCH_runtime.json",
+        "BENCH_gather.json",
+        "BENCH_faults.json",
+        "BENCH_edt.json",
+        "BENCH_trace.json",
+        "BENCH_replay.json",
+        "BENCH_scale.json",
+    ] {
+        assert!(
+            README.contains(section),
+            "README.md benchmark ladder is missing {section}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Scale-layer acceptance: the streaming `mfd_graph::gen` generators and the
+//! sharded CSR executor.
+//!
+//! Three properties are pinned here rather than in unit tests because they
+//! span crates: (1) the streaming generators are pure functions of their
+//! parameters that always emit *valid* CSR (sorted, deduplicated, symmetric,
+//! loop-free) and agree with the adjacency-map construction path at small n;
+//! (2) the sharded executor is bit-identical to the unsharded engine —
+//! states, meters and digest chains — across shard and thread counts; and
+//! (3) the `*_csr` entry points of `mfd-core` are a pure representation
+//! boundary, returning exactly what their adjacency-map twins return.
+
+use mfd_core::clustering::Clustering;
+use mfd_core::edt::{build_edt, build_edt_csr, EdtConfig};
+use mfd_core::programs::{run_bfs, run_bfs_csr, run_voronoi_ldd, run_voronoi_ldd_csr, BfsProgram};
+use mfd_graph::{gen, generators, CsrGraph, Graph};
+use mfd_routing::backend::Metered;
+use mfd_runtime::{Executor, ExecutorConfig, ShardedConfig, ShardedExecutor};
+use mfd_trace::DigestSink;
+use proptest::prelude::*;
+
+/// Structural validity of a CSR graph: monotone offsets, strictly ascending
+/// neighbor rows (sorted + deduplicated), no self-loops, symmetry, and a
+/// consistent edge count.
+fn assert_valid_csr(g: &CsrGraph) {
+    let offsets = g.offsets();
+    assert_eq!(offsets.len(), g.n() + 1);
+    assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    let mut degree_sum = 0usize;
+    for v in 0..g.n() {
+        let row = g.neighbors(v);
+        degree_sum += row.len();
+        assert!(
+            row.windows(2).all(|w| w[0] < w[1]),
+            "row {v} not strictly ascending"
+        );
+        for &u in row {
+            assert!(u < g.n(), "neighbor {u} of {v} out of range");
+            assert_ne!(u, v, "self-loop at {v}");
+            assert!(
+                g.neighbors(u).binary_search(&v).is_ok(),
+                "edge {v}-{u} not symmetric"
+            );
+        }
+    }
+    assert_eq!(degree_sum, 2 * g.m());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming generators are pure functions of `(parameters, seed)` and
+    /// always emit structurally valid CSR.
+    #[test]
+    fn streaming_generators_are_deterministic_and_valid(
+        scale in 3u32..7,
+        edge_factor in 1usize..5,
+        nexp in 4u32..9,
+        alpha in 15u32..30,
+        seed in 0u64..1000,
+    ) {
+        let alpha = alpha as f64 / 10.0;
+        let n = 1usize << nexp;
+        for g in [
+            gen::rmat(scale, edge_factor, seed),
+            gen::power_law(n, edge_factor * n, alpha, seed),
+            gen::mesh(1 + (seed as usize % 7), 1 + (edge_factor * 3)),
+        ] {
+            assert_valid_csr(&g);
+        }
+        prop_assert_eq!(
+            gen::rmat(scale, edge_factor, seed),
+            gen::rmat(scale, edge_factor, seed)
+        );
+        prop_assert_eq!(
+            gen::power_law(n, edge_factor * n, alpha, seed),
+            gen::power_law(n, edge_factor * n, alpha, seed)
+        );
+    }
+
+    /// At small n the streaming emitters agree with the adjacency-map
+    /// construction path: rebuilding the emitted edge list through `Graph`
+    /// (whose `add_edge` deduplicates one insert at a time) and converting
+    /// back yields the identical CSR — both paths drop the same self-loops
+    /// and duplicates.
+    #[test]
+    fn streaming_generators_match_the_adjacency_map_path(
+        scale in 3u32..6,
+        edge_factor in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        for g in [
+            gen::rmat(scale, edge_factor, seed),
+            gen::power_law(1 << scale, edge_factor << scale, 2.5, seed),
+        ] {
+            let mut adjacency = Graph::new(g.n());
+            for (u, v) in g.edges() {
+                adjacency.add_edge(u, v);
+            }
+            prop_assert_eq!(CsrGraph::from_graph(&adjacency), g.clone());
+            prop_assert_eq!(CsrGraph::from_graph(&g.to_graph()), g);
+        }
+    }
+
+    /// The sharded executor is bit-identical to the unsharded engine on
+    /// arbitrary graphs, whatever the shard count.
+    #[test]
+    fn sharded_executor_matches_unsharded_on_random_graphs(
+        n in 2usize..40,
+        extra in 0usize..40,
+        seed in 0u64..1000,
+        shards in 1usize..9,
+    ) {
+        let g = generators::random_gnm(n, n + extra, seed);
+        let reference = Executor::new(ExecutorConfig::default())
+            .run(&g, &BfsProgram { root: 0 })
+            .unwrap();
+        let run = ShardedExecutor::new(ShardedConfig::with_shards_threads(shards, 2))
+            .run(&CsrGraph::from_graph(&g), &BfsProgram { root: 0 })
+            .unwrap();
+        prop_assert_eq!(run.states, reference.states);
+        prop_assert_eq!(run.rounds, reference.rounds);
+        prop_assert_eq!(run.messages, reference.messages);
+        prop_assert_eq!(run.meter.max_words_on_edge(), reference.meter.max_words_on_edge());
+    }
+}
+
+/// The mesh family, pinned against a hand-built adjacency construction.
+#[test]
+fn mesh_generator_matches_a_hand_built_grid() {
+    let (rows, cols) = (5, 7);
+    let mut manual = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                manual.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                manual.add_edge(v, v + cols);
+            }
+            if c + 1 < cols && r + 1 < rows {
+                manual.add_edge(v, v + cols + 1); // the triangulating diagonal
+            }
+        }
+    }
+    assert_eq!(gen::mesh(rows, cols), CsrGraph::from_graph(&manual));
+}
+
+/// Digest chains — not just final states — agree between engines and across
+/// shard and thread counts on a generated power-law graph.
+#[test]
+fn digest_chains_are_shard_and_thread_invariant() {
+    let csr = gen::power_law(256, 1024, 2.5, 0xC5A1E);
+    let g = csr.to_graph();
+    let program = BfsProgram { root: 0 };
+
+    let mut reference = DigestSink::new();
+    let expected = Executor::new(ExecutorConfig::default())
+        .run_traced(&g, &program, &mut reference)
+        .unwrap();
+
+    for shards in [1, 3, 16, 256] {
+        for threads in [1, 3] {
+            let mut sink = DigestSink::new();
+            let run = ShardedExecutor::new(ShardedConfig::with_shards_threads(shards, threads))
+                .run_traced(&csr, &program, &mut sink)
+                .unwrap();
+            assert_eq!(
+                run.states, expected.states,
+                "shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                sink.heads, reference.heads,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+/// The `*_csr` entry points are a pure representation boundary: identical
+/// results and identical meters to their adjacency-map twins.
+#[test]
+fn csr_entry_points_match_their_adjacency_map_twins() {
+    let executor = Executor::new(ExecutorConfig::default());
+    let sharded = ShardedExecutor::new(ShardedConfig::default());
+    for g in [
+        generators::triangulated_grid(9, 6),
+        generators::wheel(48),
+        gen::rmat(6, 3, 7).to_graph(),
+    ] {
+        let csr = CsrGraph::from_graph(&g);
+
+        let (bfs, meter) = run_bfs(&g, 0, &executor).unwrap();
+        let (bfs_csr, meter_csr) = run_bfs_csr(&csr, 0, &sharded).unwrap();
+        assert_eq!(bfs_csr.parent, bfs.parent);
+        assert_eq!(bfs_csr.depth, bfs.depth);
+        assert_eq!(bfs_csr.height, bfs.height);
+        assert_eq!(meter_csr.rounds(), meter.rounds());
+        assert_eq!(meter_csr.messages(), meter.messages());
+
+        let centers = [0, g.n() / 3, g.n() - 1];
+        let (clustering, lmeter) = run_voronoi_ldd(&g, &centers, &executor).unwrap();
+        let (labels, lmeter_csr) = run_voronoi_ldd_csr(&csr, &centers, &sharded).unwrap();
+        // `run_voronoi_ldd` canonicalizes labels through `Clustering`;
+        // materializing the raw CSR labels the same way must coincide.
+        assert_eq!(Clustering::from_labels(&g, labels), clustering);
+        assert_eq!(lmeter_csr.rounds(), lmeter.rounds());
+        assert_eq!(lmeter_csr.messages(), lmeter.messages());
+
+        let (edt, emeter) = build_edt(&g, &EdtConfig::new(0.3));
+        let (edt_csr, emeter_csr) = build_edt_csr(&csr, &EdtConfig::new(0.3), &Metered);
+        assert_eq!(edt_csr.clustering, edt.clustering);
+        assert_eq!(edt_csr.epsilon_achieved, edt.epsilon_achieved);
+        assert_eq!(emeter_csr.rounds(), emeter.rounds());
+        assert_eq!(emeter_csr.messages(), emeter.messages());
+    }
+}
