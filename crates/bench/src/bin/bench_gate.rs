@@ -200,7 +200,13 @@ fn main() -> ExitCode {
 /// The wall-clock fields of the scale schema (`elapsed_ms`, `mps`, `rps`)
 /// and the arena high-water marks (`mailbox_hwm`, `route_hwm`) are
 /// measurements, never identity — wall clocks are not even deterministic.
-const METRIC_FIELDS: [&str; 17] = [
+/// The profile schema's phase walls (`*_ms`), attribution percentage and
+/// step-phase occupancy/imbalance are likewise wall clock: excluded here so
+/// they can never leak into a series key, and ungated because re-measuring
+/// time is not a regression test. (The profile schema's *deterministic*
+/// columns — `frontier_total`, `traffic_total`, per-shard `frontier` and
+/// `received` — stay identity on purpose.)
+const METRIC_FIELDS: [&str; 28] = [
     "rounds",
     "messages",
     "makespan",
@@ -218,6 +224,17 @@ const METRIC_FIELDS: [&str; 17] = [
     "rps",
     "mailbox_hwm",
     "route_hwm",
+    "init_ms",
+    "scan_ms",
+    "step_ms",
+    "route_ms",
+    "exchange_ms",
+    "deliver_ms",
+    "commit_ms",
+    "other_ms",
+    "attributed_pct",
+    "occupancy_step",
+    "imbalance_step",
 ];
 
 /// Reads one `BENCH_*.json` file and folds its series into `out`, keyed by

@@ -19,7 +19,8 @@ use mfd_apps::mis::{approximate_mis, MisConfig};
 use mfd_apps::property_testing::{test_property, Planarity};
 use mfd_apps::solvers;
 use mfd_apps::vertex_cover::{approximate_vertex_cover, VertexCoverConfig};
-use mfd_bench::{acceptance_families, f3, Table};
+use mfd_bench::profiling::{profile_executor_algo, profile_sharded_algo, Algo};
+use mfd_bench::{acceptance_families, f3, unknown_section_message, Table, SECTIONS};
 use mfd_congest::RoundMeter;
 use mfd_core::edt::{build_edt, build_edt_csr, build_edt_traced, EdtConfig};
 use mfd_core::expander::{
@@ -39,34 +40,12 @@ use mfd_routing::programs::{
     execute_gather, GatherProgram, LoadBalanceProgram, TreeGatherProgram, WalkScheduleProgram,
 };
 use mfd_routing::walks::WalkParams;
+use mfd_runtime::profile::{
+    PHASE_COMMIT, PHASE_DELIVER, PHASE_EXCHANGE, PHASE_ROUTE, PHASE_SCAN, PHASE_STEP,
+};
 use mfd_runtime::{Executor, ExecutorConfig, NodeProgram, ShardedConfig, ShardedExecutor};
 use mfd_sim::{LatencyModel, SimConfig, Simulator};
 use mfd_trace::{DigestSink, MetricsSink, Tee};
-
-/// Every section the report can regenerate, in print order. `--section`
-/// arguments are validated against this list, and `--list-sections` prints
-/// it, so CI job definitions can't silently reference a renamed section.
-const SECTIONS: [&str; 19] = [
-    "table1",
-    "scaling_n",
-    "scaling_eps",
-    "ldd",
-    "expander",
-    "overlap",
-    "routing",
-    "mis",
-    "matching_vc",
-    "maxcut",
-    "ptest",
-    "ablations",
-    "runtime",
-    "gather",
-    "faults",
-    "edt",
-    "trace",
-    "replay",
-    "scale",
-];
 
 fn main() {
     let mut sections: Vec<String> = Vec::new();
@@ -89,11 +68,7 @@ fn main() {
     }
     for section in &sections {
         if section != "all" && !SECTIONS.contains(&section.as_str()) {
-            eprintln!(
-                "error: unknown section {section:?}\nvalid sections: {}, all \
-                 (or run with --list-sections)",
-                SECTIONS.join(", ")
-            );
+            eprintln!("{}", unknown_section_message(section));
             std::process::exit(2);
         }
     }
@@ -153,6 +128,9 @@ fn main() {
     }
     if want("scale") {
         scale_report();
+    }
+    if want("profile") {
+        profile_report();
     }
 }
 
@@ -1791,19 +1769,25 @@ impl ScaleRow {
     }
 }
 
-/// Runs `program` on the sharded executor, returning the execution and the
-/// wall-clock milliseconds it took.
-fn sharded_run<P: NodeProgram>(
+/// Runs `program` on the sharded executor with a digest journal, returning
+/// the execution, the wall-clock milliseconds it took, and the digest-chain
+/// head — so every scale row carries an identity-gated `digest_head`.
+fn sharded_run<P>(
     csr: &CsrGraph,
     program: &P,
     shards: usize,
     threads: usize,
-) -> (mfd_runtime::ShardedExecution<P::State>, f64) {
+) -> (mfd_runtime::ShardedExecution<P::State>, f64, u64)
+where
+    P: NodeProgram,
+    P::State: std::hash::Hash,
+{
+    let mut sink = DigestSink::new();
     let t0 = std::time::Instant::now();
     let run = ShardedExecutor::new(ShardedConfig::with_shards_threads(shards, threads))
-        .run(csr, program)
+        .run_traced(csr, program, &mut sink)
         .expect("program is model-compliant");
-    (run, t0.elapsed().as_secs_f64() * 1e3)
+    (run, t0.elapsed().as_secs_f64() * 1e3, sink.head())
 }
 
 /// R7 — the scale series: the sharded CSR executor against the unsharded
@@ -1879,16 +1863,20 @@ fn scale_report() {
     let mesh = gen::mesh(1000, 1000);
     let centers: Vec<usize> = (0..1024).map(|i| (i * mesh.n()) / 1024).collect();
     let ldd = VoronoiLddProgram::new(mesh.n(), &centers);
-    let mut thread_base: Option<mfd_runtime::ShardedExecution<_>> = None;
+    let mut thread_base: Option<(mfd_runtime::ShardedExecution<_>, u64)> = None;
     for threads in [1, 2, 4, 8] {
-        let (run, elapsed_ms) = sharded_run(&mesh, &ldd, 64, threads);
-        if let Some(base) = &thread_base {
+        let (run, elapsed_ms, head) = sharded_run(&mesh, &ldd, 64, threads);
+        if let Some((base, base_head)) = &thread_base {
             assert_eq!(
                 run.states, base.states,
                 "mesh-1000x1000/ldd: states must be thread-invariant"
             );
             assert_eq!(run.messages, base.messages);
             assert_eq!(run.arena, base.arena, "arena HWMs must be thread-invariant");
+            assert_eq!(
+                head, *base_head,
+                "mesh-1000x1000/ldd: digest head must be thread-invariant"
+            );
         }
         rows.push(ScaleRow {
             engine: "sharded",
@@ -1900,25 +1888,30 @@ fn scale_report() {
             threads: Some(threads),
             rounds: run.rounds,
             messages: run.messages,
-            digest_head: None,
+            digest_head: Some(head),
             mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
             route_hwm: Some(run.arena.route_slots_hwm as u64),
             elapsed_ms,
         });
         if thread_base.is_none() {
-            thread_base = Some(run);
+            thread_base = Some((run, head));
         }
     }
     // Shard-count invariance at the same scale (shard count changes routing
-    // and arena layout, so only states and the meter must agree).
-    let (run17, _) = sharded_run(&mesh, &ldd, 17, 0);
-    let base = thread_base.as_ref().expect("thread block ran");
+    // and arena layout, so states, the meter, and the per-round digest chain
+    // must agree while arena HWMs may differ).
+    let (run17, _, head17) = sharded_run(&mesh, &ldd, 17, 0);
+    let (base, base_head) = thread_base.as_ref().expect("thread block ran");
     assert_eq!(
         run17.states, base.states,
         "mesh-1000x1000/ldd: states must be shard-invariant"
     );
     assert_eq!(run17.rounds, base.rounds);
     assert_eq!(run17.messages, base.messages);
+    assert_eq!(
+        head17, *base_head,
+        "mesh-1000x1000/ldd: digest head must be shard-invariant"
+    );
 
     // --- Million-vertex flagship block: BFS / LDD on every streaming
     // generator family, all cores.
@@ -1931,7 +1924,7 @@ fn scale_report() {
         ),
     ];
     for (name, g) in &flagship {
-        let (run, elapsed_ms) = sharded_run(g, &BfsProgram { root: 0 }, 64, 0);
+        let (run, elapsed_ms, head) = sharded_run(g, &BfsProgram { root: 0 }, 64, 0);
         assert!(run.messages > 0, "{name}: bfs must flood");
         rows.push(ScaleRow {
             engine: "sharded",
@@ -1943,7 +1936,7 @@ fn scale_report() {
             threads: None,
             rounds: run.rounds,
             messages: run.messages,
-            digest_head: None,
+            digest_head: Some(head),
             mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
             route_hwm: Some(run.arena.route_slots_hwm as u64),
             elapsed_ms,
@@ -1951,7 +1944,7 @@ fn scale_report() {
 
         let centers: Vec<usize> = (0..1024).map(|i| (i * g.n()) / 1024).collect();
         let ldd = VoronoiLddProgram::new(g.n(), &centers);
-        let (run, elapsed_ms) = sharded_run(g, &ldd, 64, 0);
+        let (run, elapsed_ms, head) = sharded_run(g, &ldd, 64, 0);
         rows.push(ScaleRow {
             engine: "sharded",
             graph: name.to_string(),
@@ -1962,7 +1955,7 @@ fn scale_report() {
             threads: None,
             rounds: run.rounds,
             messages: run.messages,
-            digest_head: None,
+            digest_head: Some(head),
             mailbox_hwm: Some(run.arena.mailbox_slots_hwm as u64),
             route_hwm: Some(run.arena.route_slots_hwm as u64),
             elapsed_ms,
@@ -1993,6 +1986,9 @@ fn scale_report() {
         threads: None,
         rounds: meter.rounds(),
         messages: meter.messages(),
+        // The EDT pipeline is many runs stitched together (cluster gathers,
+        // boundary rounds), not a single journaled execution — there is no
+        // one digest chain to head. Stays null by design.
         digest_head: None,
         mailbox_hwm: None,
         route_hwm: None,
@@ -2052,3 +2048,328 @@ fn scale_report() {
 /// (2866 rounds, 7·10⁸ messages, achieved ε ≈ 0.20) — the largest target
 /// that still demonstrates a non-trivial decomposition in CI time.
 const EDT_SCALE_EPSILON: f64 = 0.5;
+
+/// One profiled measurement destined for `BENCH_profile.json`.
+///
+/// Identity fields: engine, graph, n, m, program, shards, threads,
+/// `digest_head`, `frontier_total` and `traffic_total` — all deterministic,
+/// so a semantic change fails the gate as a disappeared series. Gated
+/// metrics: rounds, messages. Everything ending in `_ms` plus
+/// `attributed_pct`/`occupancy_step`/`imbalance_step` is wall clock —
+/// ungated and normalized away before CI's determinism byte-diff.
+struct ProfileRow {
+    engine: &'static str,
+    graph: String,
+    n: usize,
+    m: usize,
+    program: String,
+    shards: usize,
+    threads: usize,
+    digest_head: u64,
+    frontier_total: u64,
+    traffic_total: u64,
+    rounds: u64,
+    messages: u64,
+    init_ms: f64,
+    scan_ms: f64,
+    step_ms: f64,
+    route_ms: f64,
+    exchange_ms: f64,
+    deliver_ms: f64,
+    commit_ms: f64,
+    other_ms: f64,
+    elapsed_ms: f64,
+    attributed_pct: f64,
+    occupancy_step: f64,
+    imbalance_step: f64,
+}
+
+impl ProfileRow {
+    #[allow(clippy::too_many_arguments)]
+    fn from_run(
+        engine: &'static str,
+        graph: &str,
+        n: usize,
+        m: usize,
+        program: String,
+        shards: usize,
+        threads: usize,
+        run: &mfd_bench::profiling::ProfiledRun,
+    ) -> Self {
+        let p = &run.profile;
+        let walls = p.phase_wall_totals();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let step = p.phase_stats(PHASE_STEP);
+        ProfileRow {
+            engine,
+            graph: graph.to_string(),
+            n,
+            m,
+            program,
+            shards,
+            threads,
+            digest_head: run.digest_head,
+            frontier_total: p.frontier_total(),
+            traffic_total: p.traffic_totals().iter().sum(),
+            rounds: run.rounds,
+            messages: run.messages,
+            init_ms: ms(p.init_ns),
+            scan_ms: ms(walls[PHASE_SCAN]),
+            step_ms: ms(walls[PHASE_STEP]),
+            route_ms: ms(walls[PHASE_ROUTE]),
+            exchange_ms: ms(walls[PHASE_EXCHANGE]),
+            deliver_ms: ms(walls[PHASE_DELIVER]),
+            commit_ms: ms(walls[PHASE_COMMIT]),
+            other_ms: ms(p.unattributed_ns()),
+            elapsed_ms: run.elapsed_ms,
+            attributed_pct: p.attribution() * 100.0,
+            occupancy_step: step.occupancy,
+            imbalance_step: step.imbalance,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"graph\":\"{}\",\"n\":{},\"m\":{},\"program\":\"{}\",\
+             \"shards\":{},\"threads\":{},\"digest_head\":\"{:016x}\",\
+             \"frontier_total\":{},\"traffic_total\":{},\
+             \"rounds\":{},\"messages\":{},\
+             \"init_ms\":{:.3},\"scan_ms\":{:.3},\"step_ms\":{:.3},\"route_ms\":{:.3},\
+             \"exchange_ms\":{:.3},\"deliver_ms\":{:.3},\"commit_ms\":{:.3},\
+             \"other_ms\":{:.3},\"elapsed_ms\":{:.3},\"attributed_pct\":{:.1},\
+             \"occupancy_step\":{:.3},\"imbalance_step\":{:.3}}}",
+            self.engine,
+            self.graph,
+            self.n,
+            self.m,
+            self.program,
+            self.shards,
+            self.threads,
+            self.digest_head,
+            self.frontier_total,
+            self.traffic_total,
+            self.rounds,
+            self.messages,
+            self.init_ms,
+            self.scan_ms,
+            self.step_ms,
+            self.route_ms,
+            self.exchange_ms,
+            self.deliver_ms,
+            self.commit_ms,
+            self.other_ms,
+            self.elapsed_ms,
+            self.attributed_pct,
+            self.occupancy_step,
+            self.imbalance_step,
+        )
+    }
+}
+
+/// One shard's breakdown of a profiled run — the per-shard rows behind the
+/// straggler claims. Identity: everything except rounds/messages (gated)
+/// and the busy-time walls (ungated).
+struct ShardRow {
+    graph: String,
+    program: String,
+    shards: usize,
+    threads: usize,
+    shard: usize,
+    frontier: u64,
+    received: u64,
+    rounds: u64,
+    messages: u64,
+    scan_ms: f64,
+    step_ms: f64,
+    deliver_ms: f64,
+}
+
+impl ShardRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"sharded\",\"graph\":\"{}\",\"program\":\"{}\",\
+             \"shards\":{},\"threads\":{},\"shard\":{},\
+             \"frontier\":{},\"received\":{},\"rounds\":{},\"messages\":{},\
+             \"scan_ms\":{:.3},\"step_ms\":{:.3},\"deliver_ms\":{:.3}}}",
+            self.graph,
+            self.program,
+            self.shards,
+            self.threads,
+            self.shard,
+            self.frontier,
+            self.received,
+            self.rounds,
+            self.messages,
+            self.scan_ms,
+            self.step_ms,
+            self.deliver_ms,
+        )
+    }
+}
+
+/// R8 — the profile series: wall-clock phase breakdowns of the scale
+/// workloads under the `mfd-prof` overlay, written to `BENCH_profile.json`.
+///
+/// Every run is verified in-process: the profiled execution's states,
+/// meters and digest chains are asserted bit-identical to an unprofiled
+/// run (perturbation-freedom), the traffic matrix is asserted to account
+/// the router exactly, digest heads are asserted thread-invariant, and at
+/// least 95% of every run's wall time must be attributed to named phases
+/// (the remainder is published as `other_ms`, never hidden).
+fn profile_report() {
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+
+    // --- Thread sweep on the flat-curve workload: mesh-1000x1000 LDD,
+    // 64 shards, 1/2/4/8 worker threads. The per-phase walls say *where*
+    // the extra threads go (or fail to).
+    let mesh = gen::mesh(1000, 1000);
+    let mut sweep_head: Option<u64> = None;
+    for threads in [1, 2, 4, 8] {
+        let label = format!("mesh-1000x1000/ldd-1024/t{threads}");
+        let run = profile_sharded_algo(&mesh, Algo::Ldd(1024), 64, threads, &label);
+        if let Some(head) = sweep_head {
+            assert_eq!(
+                head, run.digest_head,
+                "{label}: digest head must be thread-invariant"
+            );
+        }
+        sweep_head = Some(run.digest_head);
+
+        if threads == 8 {
+            // The straggler view of the widest run: per-shard rows plus a
+            // human-readable summary on stdout.
+            println!("```\n{}```", run.profile.summary());
+            let p = &run.profile;
+            let frontier = p.frontier_totals();
+            let received = p.delivered_totals();
+            let sent = p.sent_totals();
+            let scan = p.shard_busy_totals(PHASE_SCAN);
+            let step = p.shard_busy_totals(PHASE_STEP);
+            let deliver = p.shard_busy_totals(PHASE_DELIVER);
+            for shard in 0..p.shards {
+                shard_rows.push(ShardRow {
+                    graph: "mesh-1000x1000".to_string(),
+                    program: "voronoi-ldd-1024".to_string(),
+                    shards: 64,
+                    threads,
+                    shard,
+                    frontier: frontier[shard],
+                    received: received[shard] as u64,
+                    rounds: run.rounds,
+                    messages: sent[shard],
+                    scan_ms: scan[shard] as f64 / 1e6,
+                    step_ms: step[shard] as f64 / 1e6,
+                    deliver_ms: deliver[shard] as f64 / 1e6,
+                });
+            }
+        }
+        rows.push(ProfileRow::from_run(
+            "sharded",
+            "mesh-1000x1000",
+            mesh.n(),
+            mesh.m(),
+            "voronoi-ldd-1024".to_string(),
+            64,
+            threads,
+            &run,
+        ));
+    }
+
+    // --- A skewed-degree workload: RMAT BFS, where traffic concentrates.
+    let rmat = gen::rmat(20, 4, 0x6d6664);
+    let run = profile_sharded_algo(&rmat, Algo::Bfs, 64, 8, "rmat-20-ef4/bfs/t8");
+    rows.push(ProfileRow::from_run(
+        "sharded",
+        "rmat-20-ef4",
+        rmat.n(),
+        rmat.m(),
+        "bfs".to_string(),
+        64,
+        8,
+        &run,
+    ));
+
+    // --- The unsharded engine under the same overlay (single shard,
+    // route/exchange identically zero).
+    let grid = generators::triangulated_grid(100, 100);
+    let run = profile_executor_algo(&grid, Algo::Ldd(64), 2, "tri-grid-100x100/ldd-64");
+    rows.push(ProfileRow::from_run(
+        "executor",
+        "tri-grid-100x100",
+        grid.n(),
+        grid.m(),
+        "voronoi-ldd-64".to_string(),
+        1,
+        2,
+        &run,
+    ));
+
+    for r in &rows {
+        assert!(
+            r.attributed_pct >= 95.0,
+            "{}/{}/t{}: only {:.1}% of wall time attributed to named phases",
+            r.graph,
+            r.program,
+            r.threads,
+            r.attributed_pct
+        );
+    }
+
+    let mut table = Table::new(
+        "R8 — profile: wall-clock phase attribution under the mfd-prof overlay \
+         (every run asserted bit-identical to its unprofiled twin in-process; \
+         all *_ms columns are wall clock, ungated)",
+        &[
+            "graph",
+            "program",
+            "threads",
+            "rounds",
+            "scan ms",
+            "step ms",
+            "route ms",
+            "exch ms",
+            "deliver ms",
+            "commit ms",
+            "other ms",
+            "total ms",
+            "attr %",
+            "occ(step)",
+            "imb(step)",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.graph.clone(),
+            r.program.clone(),
+            r.threads.to_string(),
+            r.rounds.to_string(),
+            format!("{:.1}", r.scan_ms),
+            format!("{:.1}", r.step_ms),
+            format!("{:.1}", r.route_ms),
+            format!("{:.1}", r.exchange_ms),
+            format!("{:.1}", r.deliver_ms),
+            format!("{:.1}", r.commit_ms),
+            format!("{:.1}", r.other_ms),
+            format!("{:.1}", r.elapsed_ms),
+            format!("{:.1}", r.attributed_pct),
+            f3(r.occupancy_step),
+            f3(r.imbalance_step),
+        ]);
+    }
+    table.print();
+
+    let mut all: Vec<String> = rows.iter().map(ProfileRow::to_json).collect();
+    all.extend(shard_rows.iter().map(ShardRow::to_json));
+    let json = format!(
+        "{{\n  \"schema\": \"mfd-bench/profile/v1\",\n  \"benchmarks\": [\n    {}\n  ]\n}}\n",
+        all.join(",\n    ")
+    );
+    let path = "BENCH_profile.json";
+    std::fs::write(path, json).expect("write BENCH_profile.json");
+    println!(
+        "wrote {path} ({} series, {} per-shard)",
+        all.len(),
+        shard_rows.len()
+    );
+}

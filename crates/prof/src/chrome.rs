@@ -1,0 +1,178 @@
+//! Wall-clock Chrome-trace export: one track per shard, real microseconds.
+//!
+//! `mfd_trace::jsonl::chrome_trace` renders the *deterministic* span record
+//! on the virtual event clock. This exporter renders a [`Profile`]'s
+//! wall-clock timeline instead — same trace-event format, same shared
+//! rendering helpers ([`mfd_trace::jsonl::chrome_complete_event`]), but the
+//! axis is real time: load the output in `chrome://tracing` or Perfetto and
+//! the gaps between shard tracks *are* the stragglers.
+//!
+//! Track layout (`pid` 0 throughout):
+//!
+//! * `tid = 0..shards` — one track per shard, carrying that shard's busy
+//!   spans (`scan`/`step`/`deliver`) of every round, placed at the owning
+//!   phase's start offset.
+//! * `tid = shards` — the engine track: `init`, one `round N` umbrella span
+//!   per round, and the sequential phases (`route`/`exchange`/`commit`)
+//!   that run while the shard tracks are idle.
+
+use mfd_runtime::profile::{
+    PHASE_COMMIT, PHASE_DELIVER, PHASE_EXCHANGE, PHASE_ROUTE, PHASE_SCAN, PHASE_STEP,
+};
+use mfd_trace::jsonl::{chrome_complete_event, chrome_document, chrome_metadata_event};
+
+use crate::Profile;
+
+/// Nanosecond offset → trace microseconds (the trace-event time unit),
+/// keeping sub-microsecond precision.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Renders the profile as a complete Chrome trace document (wall clock,
+/// one track per shard plus an engine track — see the module docs).
+pub fn chrome_profile(profile: &Profile) -> String {
+    let engine_tid = profile.shards as u64;
+    let mut events: Vec<String> = Vec::new();
+    for shard in 0..profile.shards {
+        events.push(chrome_metadata_event(
+            "thread_name",
+            0,
+            shard as u64,
+            &format!("shard {shard}"),
+        ));
+    }
+    events.push(chrome_metadata_event(
+        "thread_name",
+        0,
+        engine_tid,
+        "engine",
+    ));
+    if profile.init_ns > 0 {
+        events.push(chrome_complete_event(
+            "init",
+            0,
+            engine_tid,
+            0.0,
+            us(profile.init_ns),
+            &format!("{{\"threads\":{}}}", profile.threads),
+        ));
+    }
+    for r in &profile.rounds {
+        events.push(chrome_complete_event(
+            &format!("round {}", r.round),
+            0,
+            engine_tid,
+            us(r.start_ns),
+            us(r.wall_ns.max(1)),
+            &format!(
+                "{{\"frontier\":{},\"messages\":{}}}",
+                r.frontier.iter().map(|&f| f as u64).sum::<u64>(),
+                r.sent.iter().sum::<u64>(),
+            ),
+        ));
+        for (phase, name) in [
+            (PHASE_ROUTE, "route"),
+            (PHASE_EXCHANGE, "exchange"),
+            (PHASE_COMMIT, "commit"),
+        ] {
+            if r.phase_wall_ns[phase] > 0 {
+                events.push(chrome_complete_event(
+                    name,
+                    0,
+                    engine_tid,
+                    us(r.phase_start_ns[phase]),
+                    us(r.phase_wall_ns[phase]),
+                    "{}",
+                ));
+            }
+        }
+        for (phase, name, series) in [
+            (PHASE_SCAN, "scan", &r.shard_scan_ns),
+            (PHASE_STEP, "step", &r.shard_step_ns),
+            (PHASE_DELIVER, "deliver", &r.shard_deliver_ns),
+        ] {
+            for (shard, &busy) in series.iter().enumerate() {
+                if busy == 0 {
+                    continue;
+                }
+                // Busy spans are placed at the parallel phase's start: the
+                // engine records how long each shard was busy, not when its
+                // worker picked it up, so spans on one track may overlap
+                // the phase window rather than tile it.
+                let args = match phase {
+                    PHASE_SCAN => format!(
+                        "{{\"frontier\":{}}}",
+                        r.frontier.get(shard).copied().unwrap_or(0)
+                    ),
+                    PHASE_STEP => {
+                        format!("{{\"sent\":{}}}", r.sent.get(shard).copied().unwrap_or(0))
+                    }
+                    _ => format!(
+                        "{{\"delivered\":{}}}",
+                        r.delivered.get(shard).copied().unwrap_or(0)
+                    ),
+                };
+                events.push(chrome_complete_event(
+                    name,
+                    0,
+                    shard as u64,
+                    us(r.phase_start_ns[phase]),
+                    us(busy),
+                    &args,
+                ));
+            }
+        }
+    }
+    chrome_document(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfd_runtime::profile::{Profiler, RoundSample};
+
+    #[test]
+    fn exporter_emits_one_track_per_shard_plus_engine() {
+        let mut p = Profile::new();
+        p.begin(2, 2, 500);
+        let mut r = RoundSample {
+            round: 1,
+            start_ns: 500,
+            wall_ns: 4_000,
+            shard_scan_ns: vec![100, 200],
+            shard_step_ns: vec![1_000, 900],
+            shard_deliver_ns: vec![50, 0],
+            frontier: vec![3, 4],
+            sent: vec![5, 6],
+            delivered: vec![6, 5],
+            route_slots: vec![5, 6],
+            traffic: vec![2, 3, 4, 2],
+            ..RoundSample::default()
+        };
+        r.phase_start_ns = [500, 800, 2_000, 2_100, 2_200, 2_400];
+        r.phase_wall_ns = [300, 1_100, 80, 90, 100, 1_500];
+        p.record_round(&r);
+        p.finish(5_000);
+
+        let doc = chrome_profile(&p);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("]}\n"));
+        // Named tracks: two shards + the engine.
+        assert!(doc.contains("\"args\":{\"name\":\"shard 0\"}"));
+        assert!(doc.contains("\"args\":{\"name\":\"shard 1\"}"));
+        assert!(doc.contains("\"args\":{\"name\":\"engine\"}"));
+        // The engine track holds init, the round umbrella, and sequential
+        // phases; shard tracks hold busy spans.
+        assert!(doc.contains("\"name\":\"init\""));
+        assert!(doc.contains("\"name\":\"round 1\""));
+        assert!(doc.contains("\"name\":\"commit\""));
+        assert!(doc.contains("\"name\":\"step\",\"ph\":\"X\",\"pid\":0,\"tid\":1"));
+        // A zero-length busy span (shard 1 deliver) is elided.
+        assert!(!doc.contains("\"name\":\"deliver\",\"ph\":\"X\",\"pid\":0,\"tid\":1"));
+        // Timestamps are microseconds: 2_400 ns commit start renders as 2.4.
+        assert!(doc.contains("\"ts\":2.4"));
+        // Deterministic given the same profile.
+        assert_eq!(doc, chrome_profile(&p));
+    }
+}

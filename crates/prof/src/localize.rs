@@ -1,0 +1,257 @@
+//! Localizing a performance regression to the round that introduced it —
+//! [`mfd_trace::first_divergence`] for wall clocks.
+//!
+//! Digest chains give `first_divergence` a noise-free monotone predicate:
+//! once two runs differ, they differ forever. Wall-clock series are noisy,
+//! so the localizer replaces exact equality with a *ratio* probe — round
+//! `i` is "regressed" when `cur[i] / base[i]` exceeds a threshold — and
+//! calibrates that threshold from same-build noise ([`calibrate_threshold`]
+//! on two profiles of the *same* binary) so that measurement jitter stays
+//! below it. Under the persistent-regression assumption (a real regression
+//! makes every round from its onset more expensive, the analogue of "once
+//! diverged, forever diverged") the probe is monotone in `i`, and the same
+//! binary search applies: O(log r) probes to the onset round.
+//!
+//! When the assumption is violated (a one-round spike, or noise above the
+//! threshold) the search still terminates and returns *a* regressed round —
+//! the report is a starting point for `mfd-replay`'s time-travel, not a
+//! proof. That failure mode is inherited directly from binary search over a
+//! non-monotone predicate and documented in `docs/PROFILING.md`.
+//!
+//! **Negligible rounds.** A round whose cost is under a tenth of the mean
+//! round cost is measurement-noise territory: a couple of microseconds of
+//! scheduler jitter can easily triple it, and no change to it can move the
+//! run total by more than ~10%. Such rounds are therefore excluded from
+//! calibration (they would otherwise set an absurdly loose threshold) and
+//! never count as regressed on their own (their ratio is dominated by
+//! jitter). A genuine regression that makes a formerly-negligible round
+//! expensive lifts it over the floor and is caught normally.
+//!
+//! **Spike suppression.** Both calibration and the probe first smooth each
+//! series with a sliding median-of-3: a single preempted round (which on a
+//! loaded machine can balloon 10-40x) is replaced by its neighbors'
+//! consensus, so it can neither wreck the calibrated threshold nor trigger
+//! a false regression. Median-of-3 is exact at a persistent regression's
+//! boundary — the window at the onset round already holds two regressed
+//! values, the window one earlier still holds two clean ones — so
+//! localization precision is unaffected. The cost is that genuine
+//! *one-round* spikes are invisible, which the persistent-regression
+//! assumption above already gives up on.
+
+/// Per-round cost ratio, clamping both sides away from zero so empty
+/// rounds (0 ns) compare as equal instead of dividing by zero.
+fn ratio(base: u64, cur: u64) -> f64 {
+    if base == 0 && cur == 0 {
+        return 1.0;
+    }
+    cur.max(1) as f64 / base.max(1) as f64
+}
+
+/// The negligible-round floor: a tenth of the mean per-round cost of the
+/// series (see the module docs). Zero for empty series.
+fn noise_floor(series: &[u64]) -> u64 {
+    if series.is_empty() {
+        return 0;
+    }
+    series.iter().sum::<u64>() / (10 * series.len() as u64)
+}
+
+/// Sliding median-of-3 (window clamped at the ends) — the spike
+/// suppression of the module docs.
+fn smooth3(series: &[u64]) -> Vec<u64> {
+    let n = series.len();
+    (0..n)
+        .map(|i| {
+            let a = series[i.saturating_sub(1)];
+            let b = series[i];
+            let c = series[(i + 1).min(n - 1)];
+            a.max(b).min(a.max(c)).min(b.max(c))
+        })
+        .collect()
+}
+
+/// First round index where `cur`'s per-round cost exceeds `base`'s by more
+/// than `threshold` (a ratio: `1.25` = 25% slower), or `None` when no round
+/// does.
+///
+/// The search mirrors [`mfd_trace::first_divergence`], including the
+/// unequal-length convention: series whose common prefix stays below the
+/// threshold "regress" at the shorter series' end (`Some(min(len))`) —
+/// executing a different number of rounds *is* a performance change.
+/// An above-threshold round inside the common prefix beats the length
+/// mismatch. `threshold` values at or below 1.0 are nonsensical (every
+/// round regresses) and are clamped to just above 1.0. Rounds where both
+/// series sit under the negligible-round floor are always fine (module
+/// docs).
+pub fn first_regression(base: &[u64], cur: &[u64], threshold: f64) -> Option<usize> {
+    let threshold = threshold.max(1.0 + 1e-9);
+    let n = base.len().min(cur.len());
+    let base_s = smooth3(base);
+    let cur_s = smooth3(cur);
+    let floor = noise_floor(&base_s);
+    // partition_point over the (assumed monotone) predicate "rounds < i are
+    // within threshold" — see the module docs for what noise does to this.
+    let fine =
+        |i: usize| base_s[i].max(cur_s[i]) < floor || ratio(base_s[i], cur_s[i]) <= threshold;
+    if n == 0 || fine(n - 1) {
+        // The common prefix is within threshold everywhere we probed;
+        // unequal lengths regress where the shorter series ends.
+        return (base.len() != cur.len()).then_some(n);
+    }
+    let mut lo = 0; // invariant: all probed indices < lo are fine
+    let mut hi = n - 1; // invariant: hi is regressed
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fine(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Calibrates a regression threshold from two profiles of the *same* build:
+/// the largest symmetric per-round ratio between `a` and `b` is the
+/// measured noise level `eta`, and the threshold is `1 + 2 (eta - 1)` —
+/// twice the observed jitter band — floored at `1.05` so a pair of
+/// unusually quiet calibration runs cannot produce a hair-trigger
+/// threshold. Series of unequal length calibrate over the common prefix,
+/// and rounds under the negligible-round floor of either series are
+/// excluded — their jitter ratios say nothing about substantial rounds
+/// (module docs).
+pub fn calibrate_threshold(a: &[u64], b: &[u64]) -> f64 {
+    let a = smooth3(a);
+    let b = smooth3(b);
+    let floor = noise_floor(&a).min(noise_floor(&b));
+    let eta = a
+        .iter()
+        .zip(&b)
+        .filter(|&(&x, &y)| x.max(y) >= floor)
+        .map(|(&x, &y)| ratio(x, y).max(ratio(y, x)))
+        .fold(1.0_f64, f64::max);
+    (1.0 + 2.0 * (eta - 1.0)).max(1.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A flat base series with multiplicative noise from a tiny fixed table
+    /// (no RNG: tests stay deterministic).
+    fn noisy(base: u64, len: usize, amp_permille: u64) -> Vec<u64> {
+        let jitter = [3i64, -2, 1, -3, 2, 0, -1, 3];
+        (0..len)
+            .map(|i| {
+                let j = jitter[i % jitter.len()] * amp_permille as i64;
+                (base as i64 + base as i64 * j / 3000) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn localizes_a_persistent_regression() {
+        let base = vec![100_000u64; 64];
+        for onset in 0..64 {
+            let cur: Vec<u64> = (0..64)
+                .map(|i| if i < onset { 100_000 } else { 200_000 })
+                .collect();
+            assert_eq!(first_regression(&base, &cur, 1.25), Some(onset));
+        }
+    }
+
+    #[test]
+    fn noise_below_the_calibrated_threshold_is_not_a_regression() {
+        let a = noisy(100_000, 64, 10);
+        let b = noisy(100_000, 64, 7);
+        let threshold = calibrate_threshold(&a, &b);
+        assert!(threshold >= 1.05);
+        // A third same-build run stays under the calibrated threshold.
+        let c = noisy(100_000, 64, 9);
+        assert_eq!(first_regression(&a, &c, threshold), None);
+        // A genuine 2x regression from round 20 is still found exactly.
+        let cur: Vec<u64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i < 20 { v } else { v * 2 })
+            .collect();
+        assert_eq!(first_regression(&a, &cur, threshold), Some(20));
+    }
+
+    #[test]
+    fn unequal_lengths_regress_at_the_shorter_end() {
+        let a = vec![10u64; 50];
+        assert_eq!(first_regression(&a, &a[..30], 1.25), Some(30));
+        assert_eq!(first_regression(&a[..30], &a, 1.25), Some(30));
+        assert_eq!(first_regression(&[], &a, 1.25), Some(0));
+        // An in-prefix regression beats the length mismatch.
+        let mut b = a[..30].to_vec();
+        for v in &mut b[7..] {
+            *v *= 3;
+        }
+        assert_eq!(first_regression(&a, &b, 1.25), Some(7));
+    }
+
+    #[test]
+    fn identical_series_and_empty_rounds_are_clean() {
+        let a = vec![10u64; 16];
+        assert_eq!(first_regression(&a, &a, 1.25), None);
+        // Zero-cost rounds on both sides compare equal, not as div-by-zero.
+        let z = vec![0u64; 16];
+        assert_eq!(first_regression(&z, &z, 1.25), None);
+        assert_eq!(first_regression(&[], &[], 1.25), None);
+    }
+
+    #[test]
+    fn threshold_is_clamped_above_one() {
+        let a = vec![10u64; 8];
+        // threshold 0.0 would mark every round regressed including equal
+        // ones; the clamp keeps equality clean.
+        assert_eq!(first_regression(&a, &a, 0.0), None);
+    }
+
+    #[test]
+    fn calibration_floor_protects_quiet_runs() {
+        let a = vec![100u64; 8];
+        assert_eq!(calibrate_threshold(&a, &a), 1.05);
+    }
+
+    #[test]
+    fn negligible_rounds_cannot_set_or_trip_the_threshold() {
+        // Tail rounds a hundred times cheaper than the mean jitter wildly
+        // (5x) between same-build runs; calibration must ignore them and
+        // the probe must not flag them.
+        let mut a = vec![100_000u64; 32];
+        let mut b = vec![100_000u64; 32];
+        for i in 24..32 {
+            a[i] = 400;
+            b[i] = 2_000;
+        }
+        let threshold = calibrate_threshold(&a, &b);
+        assert!(threshold <= 1.25, "tiny-round jitter leaked: {threshold}");
+        assert_eq!(first_regression(&a, &b, threshold), None);
+    }
+
+    #[test]
+    fn a_single_preempted_round_is_smoothed_away() {
+        // One round ballooning 40x (scheduler preemption) must neither
+        // wreck calibration nor register as a regression...
+        let a = vec![50_000u64; 32];
+        let mut b = a.clone();
+        b[11] = 2_000_000;
+        let threshold = calibrate_threshold(&a, &b);
+        assert!(
+            threshold <= 1.25,
+            "one spike wrecked calibration: {threshold}"
+        );
+        assert_eq!(first_regression(&a, &b, threshold), None);
+        // ...while a persistent regression through the same smoothing is
+        // still localized at its exact onset round.
+        let cur: Vec<u64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i >= 11 { v * 4 } else { v })
+            .collect();
+        assert_eq!(first_regression(&a, &cur, threshold), Some(11));
+    }
+}

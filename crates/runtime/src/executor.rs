@@ -1,6 +1,7 @@
 //! The round-synchronous parallel executor.
 
 use std::fmt;
+use std::time::Instant;
 
 use mfd_congest::{CongestError, Message, MeterParts, RoundMeter};
 use mfd_graph::Graph;
@@ -8,6 +9,9 @@ use mfd_trace::{EngineKind, Event, NullSink, RunObserver};
 use rayon::prelude::*;
 
 use crate::driver::{self, VertexRound};
+use crate::profile::{
+    NoProfiler, Profiler, RoundSample, PHASE_COMMIT, PHASE_DELIVER, PHASE_SCAN, PHASE_STEP,
+};
 use crate::program::{Envelope, NodeCtx, NodeProgram};
 
 /// The executor's complete loop state at a round boundary, as plain data.
@@ -178,9 +182,36 @@ impl Executor {
         program: &P,
         observer: &mut O,
     ) -> Result<Execution<P::State>, RuntimeError> {
+        self.run_profiled(g, program, observer, &mut NoProfiler)
+    }
+
+    /// [`Executor::run_traced`] with a wall-clock [`crate::profile::Profiler`]
+    /// attached (see [`crate::ShardedExecutor::run_profiled`] for the full
+    /// contract — this engine reports itself as a single shard, with the
+    /// `route` and `exchange` phases identically zero). With [`NoProfiler`]
+    /// this *is* [`Executor::run_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Executor::run`].
+    pub fn run_profiled<P, O, PR>(
+        &self,
+        g: &Graph,
+        program: &P,
+        observer: &mut O,
+        profiler: &mut PR,
+    ) -> Result<Execution<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        O: RunObserver<P::State>,
+        PR: Profiler,
+    {
         self.install(|| {
-            let mut engine = ExecEngine::fresh(&self.config, g, program, observer);
+            let run_start = Instant::now();
+            let mut engine =
+                ExecEngine::fresh(&self.config, g, program, observer, profiler, run_start);
             engine.drive()?;
+            engine.seal_profile();
             Ok(engine.finish())
         })
     }
@@ -232,7 +263,9 @@ impl Executor {
         observer: &mut O,
     ) -> Result<Execution<P::State>, RuntimeError> {
         self.install(|| {
-            let mut engine = ExecEngine::restored(&self.config, g, program, observer, checkpoint);
+            let mut noprof = NoProfiler;
+            let mut engine =
+                ExecEngine::restored(&self.config, g, program, observer, checkpoint, &mut noprof);
             engine.drive()?;
             Ok(engine.finish())
         })
@@ -264,7 +297,15 @@ impl Executor {
     {
         let every = every.max(1);
         self.install(|| {
-            let mut engine = ExecEngine::fresh(&self.config, g, program, observer);
+            let mut noprof = NoProfiler;
+            let mut engine = ExecEngine::fresh(
+                &self.config,
+                g,
+                program,
+                observer,
+                &mut noprof,
+                Instant::now(),
+            );
             while let Stepped::Sealed(round) = engine.step()? {
                 if round % every == 0 {
                     capture(engine.checkpoint(), engine.observer());
@@ -304,7 +345,9 @@ impl Executor {
     {
         let every = every.max(1);
         self.install(|| {
-            let mut engine = ExecEngine::restored(&self.config, g, program, observer, checkpoint);
+            let mut noprof = NoProfiler;
+            let mut engine =
+                ExecEngine::restored(&self.config, g, program, observer, checkpoint, &mut noprof);
             while let Stepped::Sealed(round) = engine.step()? {
                 if round % every == 0 {
                     capture(engine.checkpoint(), engine.observer());
@@ -334,10 +377,15 @@ enum Stepped {
 /// The executor's loop state, factored out of the run methods so a run can
 /// be started fresh, restored from an [`ExecCheckpoint`], and stepped one
 /// round at a time (the checkpoint capture points).
-struct ExecEngine<'a, P: NodeProgram, O> {
+struct ExecEngine<'a, P: NodeProgram, O, PR> {
     g: &'a Graph,
     program: &'a P,
     observer: &'a mut O,
+    profiler: &'a mut PR,
+    /// Wall-clock origin of the run; all profile offsets are relative to it.
+    run_start: Instant,
+    /// Pooled per-round profile sample (only populated when `PR::ENABLED`).
+    sample: RoundSample,
     n: usize,
     seed: u64,
     max_rounds: u64,
@@ -352,10 +400,11 @@ struct ExecEngine<'a, P: NodeProgram, O> {
     round: u64,
 }
 
-impl<'a, P, O> ExecEngine<'a, P, O>
+impl<'a, P, O, PR> ExecEngine<'a, P, O, PR>
 where
     P: NodeProgram,
     O: RunObserver<P::State>,
+    PR: Profiler,
 {
     fn budget(config: &ExecutorConfig, program: &P) -> u64 {
         config
@@ -364,7 +413,14 @@ where
     }
 
     /// Initializes a run at round 0 and seals the initial configuration.
-    fn fresh(config: &ExecutorConfig, g: &'a Graph, program: &'a P, observer: &'a mut O) -> Self {
+    fn fresh(
+        config: &ExecutorConfig,
+        g: &'a Graph,
+        program: &'a P,
+        observer: &'a mut O,
+        profiler: &'a mut PR,
+        run_start: Instant,
+    ) -> Self {
         let n = g.n();
         let seed = config.seed;
         let sorted_adj = driver::sorted_adjacency(g);
@@ -386,10 +442,20 @@ where
             observer.round_sealed(EngineKind::Executor, 0);
         }
 
+        if PR::ENABLED {
+            // This engine is one "shard"; the worker count is the installed
+            // pool's size (or all available threads without a pool).
+            let threads = rayon::current_num_threads().max(1);
+            profiler.begin(1, threads, run_start.elapsed().as_nanos() as u64);
+        }
+
         ExecEngine {
             g,
             program,
             observer,
+            profiler,
+            run_start,
+            sample: RoundSample::default(),
             n,
             seed,
             max_rounds: Self::budget(config, program),
@@ -411,6 +477,7 @@ where
         program: &'a P,
         observer: &'a mut O,
         checkpoint: ExecCheckpoint<P::State, P::Msg>,
+        profiler: &'a mut PR,
     ) -> Self {
         let n = g.n();
         assert_eq!(
@@ -423,6 +490,9 @@ where
             g,
             program,
             observer,
+            profiler,
+            run_start: Instant::now(),
+            sample: RoundSample::default(),
             n,
             seed: config.seed,
             max_rounds: Self::budget(config, program),
@@ -461,6 +531,19 @@ where
         Ok(())
     }
 
+    /// Wall-clock offset from the run's start, in nanoseconds.
+    fn offset_ns(&self) -> u64 {
+        self.run_start.elapsed().as_nanos() as u64
+    }
+
+    /// Reports the total wall time to the profiler on normal completion.
+    fn seal_profile(&mut self) {
+        if PR::ENABLED {
+            let total = self.offset_ns();
+            self.profiler.finish(total);
+        }
+    }
+
     /// Executes one full round (active-set scan, parallel sweep, sequential
     /// commit, meter validation, seal, mailbox swap) or reports the run
     /// finished.
@@ -478,6 +561,12 @@ where
         // the round-budget check: a run whose work fit the budget must
         // not fail merely because detecting the fixpoint takes one more
         // loop iteration.
+        if PR::ENABLED {
+            self.sample.reset(round);
+            let now = self.offset_ns();
+            self.sample.start_ns = now;
+            self.sample.phase_start_ns[PHASE_SCAN] = now;
+        }
         let halted = &self.halted;
         let inbox_ref = &self.inbox;
         let states_ref = &self.states;
@@ -491,6 +580,14 @@ where
                             .quiescent(&NodeCtx::new(v, n, round, &adj[v], seed), &states_ref[v]))
             })
             .collect();
+        if PR::ENABLED {
+            let scan_ns = self.offset_ns() - self.sample.phase_start_ns[PHASE_SCAN];
+            self.sample.phase_wall_ns[PHASE_SCAN] = scan_ns;
+            self.sample.shard_scan_ns.push(scan_ns);
+            self.sample
+                .frontier
+                .push(active.iter().filter(|&&a| a).count());
+        }
         if !active.iter().any(|&a| a) {
             return Ok(Stepped::Done);
         }
@@ -510,6 +607,9 @@ where
         // Parallel vertex sweep over the active set. Skipped vertices
         // cost one quiescence check instead of an outbox and a program
         // call.
+        if PR::ENABLED {
+            self.sample.phase_start_ns[PHASE_STEP] = self.offset_ns();
+        }
         let active_ref = &active;
         let outs: Vec<Option<VertexRound<P::Msg>>> = self
             .states
@@ -523,6 +623,13 @@ where
                 Some(driver::step_vertex(program, &ctx, state, &inbox_ref[v]))
             })
             .collect();
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            let step_ns = now - self.sample.phase_start_ns[PHASE_STEP];
+            self.sample.phase_wall_ns[PHASE_STEP] = step_ns;
+            self.sample.shard_step_ns.push(step_ns);
+            self.sample.phase_start_ns[PHASE_COMMIT] = now;
+        }
 
         // Commit results sequentially in vertex order: deterministic in
         // the thread count by construction. Inboxes stay readable until
@@ -572,10 +679,33 @@ where
             });
             self.observer.round_sealed(EngineKind::Executor, round);
         }
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            let commit_ns = now - self.sample.phase_start_ns[PHASE_COMMIT];
+            self.sample.phase_wall_ns[PHASE_COMMIT] = commit_ns;
+            self.sample.phase_start_ns[PHASE_DELIVER] = now;
+            // Structural single-shard series: this engine has no router, so
+            // the 1×1 traffic matrix, the sent count, and the delivered
+            // count are all the round's message count; nothing is ever
+            // staged in route buckets.
+            let msgs = round_msgs.len();
+            self.sample.sent.push(msgs as u64);
+            self.sample.delivered.push(msgs);
+            self.sample.route_slots.push(0);
+            self.sample.traffic.push(msgs as u64);
+        }
         for mailbox in &mut self.inbox {
             mailbox.clear();
         }
         std::mem::swap(&mut self.inbox, &mut self.next_inbox);
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            let deliver_ns = now - self.sample.phase_start_ns[PHASE_DELIVER];
+            self.sample.phase_wall_ns[PHASE_DELIVER] = deliver_ns;
+            self.sample.shard_deliver_ns.push(deliver_ns);
+            self.sample.wall_ns = now - self.sample.start_ns;
+            self.profiler.record_round(&self.sample);
+        }
         Ok(Stepped::Sealed(round))
     }
 

@@ -93,11 +93,13 @@
 pub mod cluster;
 pub mod driver;
 pub mod executor;
+pub mod profile;
 pub mod program;
 pub mod sharded;
 
 pub use cluster::{run_on_clusters, ClusterExecution};
 pub use driver::VertexRound;
 pub use executor::{ExecCheckpoint, Execution, Executor, ExecutorConfig, RuntimeError};
+pub use profile::{NoProfiler, Profiler, RoundSample, PHASES, PHASE_NAMES};
 pub use program::{Envelope, NodeCtx, NodeProgram, NodeRng, Outbox, RuntimeMessage};
 pub use sharded::{ArenaStats, ShardedConfig, ShardedExecution, ShardedExecutor};

@@ -37,6 +37,8 @@
 //! has a unique source vertex, so per-source accounting covers every edge
 //! exactly once) and folded into the same [`RoundMeter`] totals.
 
+use std::time::Instant;
+
 use mfd_congest::{CongestError, RoundMeter};
 use mfd_graph::CsrGraph;
 use mfd_trace::{EngineKind, Event, NullSink, RunObserver};
@@ -44,6 +46,10 @@ use rayon::prelude::*;
 
 use crate::driver::{self, VertexRound};
 use crate::executor::{ExecutorConfig, RuntimeError};
+use crate::profile::{
+    NoProfiler, Profiler, RoundSample, PHASE_COMMIT, PHASE_DELIVER, PHASE_EXCHANGE, PHASE_ROUTE,
+    PHASE_SCAN, PHASE_STEP,
+};
 use crate::program::{Envelope, NodeCtx, NodeProgram};
 
 /// Configuration for a [`ShardedExecutor`].
@@ -179,9 +185,43 @@ impl ShardedExecutor {
         program: &P,
         observer: &mut O,
     ) -> Result<ShardedExecution<P::State>, RuntimeError> {
+        self.run_profiled(g, program, observer, &mut NoProfiler)
+    }
+
+    /// [`ShardedExecutor::run_traced`] with a wall-clock [`Profiler`]
+    /// attached.
+    ///
+    /// The profiler receives per-round phase timings, per-shard busy times,
+    /// the shard→shard traffic matrix, and the per-shard frontier/arena
+    /// series (see [`RoundSample`]) — all without perturbing the run: every
+    /// structural field is copied at the sequential points where observer
+    /// hooks already fire, and wall clocks are read around the deterministic
+    /// work, never inside it, so a profiled run is bit-identical to an
+    /// unprofiled one (states, meter, digest chain). With [`NoProfiler`]
+    /// this *is* [`ShardedExecutor::run_traced`]: every hook site is guarded
+    /// by the monomorphized [`Profiler::ENABLED`] constant.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ShardedExecutor::run`].
+    pub fn run_profiled<P, O, PR>(
+        &self,
+        g: &CsrGraph,
+        program: &P,
+        observer: &mut O,
+        profiler: &mut PR,
+    ) -> Result<ShardedExecution<P::State>, RuntimeError>
+    where
+        P: NodeProgram,
+        O: RunObserver<P::State>,
+        PR: Profiler,
+    {
         let mut f = || {
-            let mut engine = ShardedEngine::fresh(&self.config, g, program, observer);
+            let run_start = Instant::now();
+            let mut engine =
+                ShardedEngine::fresh(&self.config, g, program, observer, profiler, run_start);
             engine.drive()?;
+            engine.seal_profile();
             Ok(engine.finish())
         };
         match &self.pool {
@@ -373,10 +413,15 @@ enum Stepped {
     Done,
 }
 
-struct ShardedEngine<'a, P: NodeProgram, O> {
+struct ShardedEngine<'a, P: NodeProgram, O, PR> {
     g: &'a CsrGraph,
     program: &'a P,
     observer: &'a mut O,
+    profiler: &'a mut PR,
+    /// Wall-clock origin of the run; all profile offsets are relative to it.
+    run_start: Instant,
+    /// Pooled per-round profile sample (only populated when `PR::ENABLED`).
+    sample: RoundSample,
     n: usize,
     seed: u64,
     max_rounds: u64,
@@ -391,12 +436,20 @@ struct ShardedEngine<'a, P: NodeProgram, O> {
     round: u64,
 }
 
-impl<'a, P, O> ShardedEngine<'a, P, O>
+impl<'a, P, O, PR> ShardedEngine<'a, P, O, PR>
 where
     P: NodeProgram,
     O: RunObserver<P::State>,
+    PR: Profiler,
 {
-    fn fresh(config: &ShardedConfig, g: &'a CsrGraph, program: &'a P, observer: &'a mut O) -> Self {
+    fn fresh(
+        config: &ShardedConfig,
+        g: &'a CsrGraph,
+        program: &'a P,
+        observer: &'a mut O,
+        profiler: &'a mut PR,
+        run_start: Instant,
+    ) -> Self {
         let n = g.n();
         let seed = config.seed;
         let num_shards = config.shards.max(1);
@@ -448,6 +501,9 @@ where
             g,
             program,
             observer,
+            profiler,
+            run_start,
+            sample: RoundSample::default(),
             n,
             seed,
             max_rounds: config
@@ -478,12 +534,32 @@ where
             }
             engine.observer.round_sealed(EngineKind::Executor, 0);
         }
+        if PR::ENABLED {
+            // The effective worker count: the installed pool's size, or all
+            // available threads when no dedicated pool was built.
+            let threads = rayon::current_num_threads().max(1);
+            let init_ns = run_start.elapsed().as_nanos() as u64;
+            engine.profiler.begin(num_shards, threads, init_ns);
+        }
         engine
     }
 
     fn drive(&mut self) -> Result<(), RuntimeError> {
         while let Stepped::Sealed = self.step()? {}
         Ok(())
+    }
+
+    /// Wall-clock offset from the run's start, in nanoseconds.
+    fn offset_ns(&self) -> u64 {
+        self.run_start.elapsed().as_nanos() as u64
+    }
+
+    /// Reports the total wall time to the profiler on normal completion.
+    fn seal_profile(&mut self) {
+        if PR::ENABLED {
+            let total = self.offset_ns();
+            self.profiler.finish(total);
+        }
     }
 
     /// Executes one full round: parallel frontier scan, parallel shard sweep,
@@ -494,17 +570,44 @@ where
         let (n, seed, chunk) = (self.n, self.seed, self.chunk);
         let program = self.program;
         let g = self.g;
+        if PR::ENABLED {
+            self.sample.reset(round);
+            let now = self.offset_ns();
+            self.sample.start_ns = now;
+            self.sample.phase_start_ns[PHASE_SCAN] = now;
+        }
         // Frontier scan (parallel over shards): active vertices per shard.
-        let scans: Vec<(bool, usize)> = self
+        // The per-shard busy timestamp rides in that shard's result slot, so
+        // profiling adds no shared state to the parallel pass.
+        let scans: Vec<(bool, usize, u64)> = self
             .shards
             .par_iter_mut()
             .enumerate()
-            .map(|(_, shard)| shard.scan(program, g, n, round, seed))
+            .map(|(_, shard)| {
+                if PR::ENABLED {
+                    let busy = Instant::now();
+                    let (all_halted, active) = shard.scan(program, g, n, round, seed);
+                    (all_halted, active, busy.elapsed().as_nanos() as u64)
+                } else {
+                    let (all_halted, active) = shard.scan(program, g, n, round, seed);
+                    (all_halted, active, 0)
+                }
+            })
             .collect();
-        if scans.iter().all(|&(all_halted, _)| all_halted) {
+        if PR::ENABLED {
+            self.sample.phase_wall_ns[PHASE_SCAN] =
+                self.offset_ns() - self.sample.phase_start_ns[PHASE_SCAN];
+            self.sample
+                .shard_scan_ns
+                .extend(scans.iter().map(|&(_, _, ns)| ns));
+            self.sample
+                .frontier
+                .extend(scans.iter().map(|&(_, a, _)| a));
+        }
+        if scans.iter().all(|&(all_halted, _, _)| all_halted) {
             return Ok(Stepped::Done);
         }
-        let active: usize = scans.iter().map(|&(_, a)| a).sum();
+        let active: usize = scans.iter().map(|&(_, a, _)| a).sum();
         if active == 0 {
             return Ok(Stepped::Done);
         }
@@ -523,16 +626,49 @@ where
         }
         // Parallel shard sweep over the active frontier only.
         let capacity = self.capacity_words;
-        let _: Vec<()> = self
+        if PR::ENABLED {
+            self.sample.phase_start_ns[PHASE_STEP] = self.offset_ns();
+        }
+        let sweeps: Vec<u64> = self
             .shards
             .par_iter_mut()
             .enumerate()
-            .map(|(_, shard)| shard.sweep(program, g, n, round, seed, chunk, capacity, O::ENABLED))
+            .map(|(_, shard)| {
+                if PR::ENABLED {
+                    let busy = Instant::now();
+                    shard.sweep(program, g, n, round, seed, chunk, capacity, O::ENABLED);
+                    busy.elapsed().as_nanos() as u64
+                } else {
+                    shard.sweep(program, g, n, round, seed, chunk, capacity, O::ENABLED);
+                    0
+                }
+            })
             .collect();
 
         // Sequential resolution, in vertex order by construction (shards are
         // ascending vertex ranges): non-edge sends first, then bandwidth —
         // the same precedence as the unsharded engine.
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            self.sample.phase_wall_ns[PHASE_STEP] = now - self.sample.phase_start_ns[PHASE_STEP];
+            self.sample.phase_start_ns[PHASE_COMMIT] = now;
+            self.sample.shard_step_ns.extend(sweeps);
+            // Structural per-shard series, read at this sequential point
+            // while the route buckets are still populated: sent counts, the
+            // staged route-slot series, and the shard→shard traffic matrix
+            // straight from the router's destination buckets.
+            let num_shards = self.shards.len();
+            for shard in &self.shards {
+                self.sample.sent.push(shard.msgs);
+                self.sample.route_slots.push(shard.route_slots());
+            }
+            self.sample.traffic.reserve(num_shards * num_shards);
+            for shard in &self.shards {
+                for dst in 0..num_shards {
+                    self.sample.traffic.push(shard.out[dst].len() as u64);
+                }
+            }
+        }
         if let Some(err) = self.shards.iter().find_map(|s| s.send_violation.clone()) {
             return Err(RuntimeError::Model(err));
         }
@@ -577,6 +713,12 @@ where
         // matrix (O(shards²) pointer moves, payloads untouched), hand every
         // destination its column, deliver in parallel, then return the
         // emptied buckets to their owners for reuse.
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            self.sample.phase_wall_ns[PHASE_COMMIT] =
+                now - self.sample.phase_start_ns[PHASE_COMMIT];
+            self.sample.phase_start_ns[PHASE_ROUTE] = now;
+        }
         {
             let (shards, xfer) = (&mut self.shards, &mut self.xfer);
             for (s, shard) in shards.iter_mut().enumerate() {
@@ -588,14 +730,39 @@ where
                 shard.in_buckets = std::mem::take(&mut xfer[d]);
             }
         }
-        let delivered: Vec<usize> = self
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            self.sample.phase_wall_ns[PHASE_ROUTE] = now - self.sample.phase_start_ns[PHASE_ROUTE];
+            self.sample.phase_start_ns[PHASE_DELIVER] = now;
+        }
+        let delivered: Vec<(usize, u64)> = self
             .shards
             .par_iter_mut()
             .enumerate()
-            .map(|(_, shard)| shard.deliver())
+            .map(|(_, shard)| {
+                if PR::ENABLED {
+                    let busy = Instant::now();
+                    let resident = shard.deliver();
+                    (resident, busy.elapsed().as_nanos() as u64)
+                } else {
+                    (shard.deliver(), 0)
+                }
+            })
             .collect();
-        let mailbox_slots: usize = delivered.iter().sum();
+        let mailbox_slots: usize = delivered.iter().map(|&(resident, _)| resident).sum();
         self.arena.mailbox_slots_hwm = self.arena.mailbox_slots_hwm.max(mailbox_slots);
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            self.sample.phase_wall_ns[PHASE_DELIVER] =
+                now - self.sample.phase_start_ns[PHASE_DELIVER];
+            self.sample.phase_start_ns[PHASE_EXCHANGE] = now;
+            self.sample
+                .delivered
+                .extend(delivered.iter().map(|&(resident, _)| resident));
+            self.sample
+                .shard_deliver_ns
+                .extend(delivered.iter().map(|&(_, ns)| ns));
+        }
         {
             let (shards, xfer) = (&mut self.shards, &mut self.xfer);
             for (d, shard) in shards.iter_mut().enumerate() {
@@ -606,6 +773,13 @@ where
                     shard.out[d] = std::mem::take(&mut row[s]);
                 }
             }
+        }
+        if PR::ENABLED {
+            let now = self.offset_ns();
+            self.sample.phase_wall_ns[PHASE_EXCHANGE] =
+                now - self.sample.phase_start_ns[PHASE_EXCHANGE];
+            self.sample.wall_ns = now - self.sample.start_ns;
+            self.profiler.record_round(&self.sample);
         }
         Ok(Stepped::Sealed)
     }

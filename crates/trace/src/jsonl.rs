@@ -179,29 +179,60 @@ pub fn event_json(event: &Event) -> String {
     }
 }
 
+/// Renders one complete (`"ph":"X"`) Chrome trace event. `ts` and `dur` are
+/// in the trace's microsecond axis (virtual counts for [`chrome_trace`],
+/// wall-clock microseconds for `mfd-prof`'s exporter); `args` must be a
+/// rendered JSON object. Shared by the virtual-clock exporter here and the
+/// wall-clock exporter in `mfd-prof`.
+pub fn chrome_complete_event(
+    name: &str,
+    pid: u64,
+    tid: u64,
+    ts: f64,
+    dur: f64,
+    args: &str,
+) -> String {
+    format!("{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{args}}}")
+}
+
+/// Renders a Chrome trace-event metadata event (`"ph":"M"`) — used to name
+/// tracks (`thread_name`) so per-shard tracks are labelled in the viewer.
+pub fn chrome_metadata_event(name: &str, pid: u64, tid: u64, label: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{label}\"}}}}"
+    )
+}
+
+/// Wraps rendered trace events into a complete Chrome trace document
+/// (load in `chrome://tracing` or Perfetto).
+pub fn chrome_document(events: &[String]) -> String {
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
 /// Renders closed spans in the Chrome trace-event format (one complete `"X"`
 /// event per span; load the result in `chrome://tracing` or Perfetto).
 ///
 /// Virtual timestamps (event counts) stand in for microseconds — the shape
 /// of the flamegraph is deterministic; only the axis unit is virtual. For
-/// wall-clock profiles, use [`crate::MetricsSink::with_wall_clock`] next to
-/// this sink and read its span durations.
+/// wall-clock profiles, use `mfd-prof`'s `chrome_profile` exporter (built
+/// on the same [`chrome_complete_event`] helper), or read
+/// [`crate::MetricsSink::with_wall_clock`] span durations next to this
+/// sink.
 pub fn chrome_trace(spans: &[CompletedSpan]) -> String {
     let events: Vec<String> = spans
         .iter()
         .map(|s| {
-            format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":{},\"dur\":{},\
-                 \"args\":{{\"rounds\":{},\"messages\":{}}}}}",
+            chrome_complete_event(
                 s.name,
-                s.start,
-                s.end.saturating_sub(s.start).max(1),
-                s.rounds,
-                s.messages
+                0,
+                0,
+                s.start as f64,
+                s.end.saturating_sub(s.start).max(1) as f64,
+                &format!("{{\"rounds\":{},\"messages\":{}}}", s.rounds, s.messages),
             )
         })
         .collect();
-    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+    chrome_document(&events)
 }
 
 #[cfg(test)]

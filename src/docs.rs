@@ -12,3 +12,7 @@ pub mod architecture {}
 /// The reproducibility contract (embedded from `docs/DETERMINISM.md`).
 #[doc = include_str!("../docs/DETERMINISM.md")]
 pub mod determinism {}
+
+/// Profiling without perturbation (embedded from `docs/PROFILING.md`).
+#[doc = include_str!("../docs/PROFILING.md")]
+pub mod profiling {}

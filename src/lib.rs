@@ -15,6 +15,8 @@
 //!   leader re-election experiments.
 //! * [`trace`] — the observability layer: trace sinks, deterministic
 //!   metrics, JSON-lines logs, round digests and divergence search.
+//! * [`prof`] — the wall-clock profiling overlay: per-shard phase timers,
+//!   traffic matrices, straggler reports and the regression localizer.
 //! * [`replay`] — the checkpoint/replay layer: the `Snapshot` byte codec,
 //!   digest-stamped checkpoint journals, and bit-identical resume.
 //! * [`apps`] — applications (MIS, matching, cover, cut, testing).
@@ -32,6 +34,7 @@ pub use mfd_congest as congest;
 pub use mfd_core as core;
 pub use mfd_faults as faults;
 pub use mfd_graph as graph;
+pub use mfd_prof as prof;
 pub use mfd_replay as replay;
 pub use mfd_routing as routing;
 pub use mfd_runtime as runtime;

@@ -9,6 +9,7 @@
 
 const ARCHITECTURE: &str = include_str!("../docs/ARCHITECTURE.md");
 const DETERMINISM: &str = include_str!("../docs/DETERMINISM.md");
+const PROFILING: &str = include_str!("../docs/PROFILING.md");
 const README: &str = include_str!("../README.md");
 
 /// Every fence opener must carry a language tag: `rust` (compiled and run
@@ -52,6 +53,7 @@ fn check_fences(name: &str, body: &str) -> usize {
 fn every_fence_is_tagged_and_each_book_has_doctests() {
     assert!(check_fences("ARCHITECTURE.md", ARCHITECTURE) >= 2);
     assert!(check_fences("DETERMINISM.md", DETERMINISM) >= 2);
+    assert!(check_fences("PROFILING.md", PROFILING) >= 2);
 }
 
 #[test]
@@ -65,6 +67,7 @@ fn architecture_covers_every_crate() {
         "mfd-routing",
         "mfd-faults",
         "mfd-trace",
+        "mfd-prof",
         "mfd-replay",
         "mfd-apps",
         "mfd-bench",
@@ -113,6 +116,10 @@ fn cross_links_resolve() {
             "ARCHITECTURE.md",
             ARCHITECTURE,
         ),
+        ("PROFILING.md", PROFILING, "ARCHITECTURE.md", ARCHITECTURE),
+        ("PROFILING.md", PROFILING, "DETERMINISM.md", DETERMINISM),
+        ("ARCHITECTURE.md", ARCHITECTURE, "PROFILING.md", PROFILING),
+        ("DETERMINISM.md", DETERMINISM, "PROFILING.md", PROFILING),
     ];
     for (src_name, src, dst_name, dst) in links {
         assert!(
@@ -134,7 +141,11 @@ fn cross_links_resolve() {
 
 #[test]
 fn readme_points_at_the_books() {
-    for book in ["docs/ARCHITECTURE.md", "docs/DETERMINISM.md"] {
+    for book in [
+        "docs/ARCHITECTURE.md",
+        "docs/DETERMINISM.md",
+        "docs/PROFILING.md",
+    ] {
         assert!(
             README.contains(book),
             "README.md must link to {book} so the books are discoverable"
@@ -155,6 +166,7 @@ fn readme_lists_every_bench_section() {
         "BENCH_trace.json",
         "BENCH_replay.json",
         "BENCH_scale.json",
+        "BENCH_profile.json",
     ] {
         assert!(
             README.contains(section),
