@@ -200,13 +200,14 @@ fn main() -> ExitCode {
 /// The wall-clock fields of the scale schema (`elapsed_ms`, `mps`, `rps`)
 /// and the arena high-water marks (`mailbox_hwm`, `route_hwm`) are
 /// measurements, never identity — wall clocks are not even deterministic.
-/// The profile schema's phase walls (`*_ms`), attribution percentage and
+/// The profile schema's phase walls (`*_ms`, including the `seal_ms`
+/// sub-span), the derived `commit_frac`, attribution percentage and
 /// step-phase occupancy/imbalance are likewise wall clock: excluded here so
 /// they can never leak into a series key, and ungated because re-measuring
 /// time is not a regression test. (The profile schema's *deterministic*
 /// columns — `frontier_total`, `traffic_total`, per-shard `frontier` and
 /// `received` — stay identity on purpose.)
-const METRIC_FIELDS: [&str; 28] = [
+const METRIC_FIELDS: [&str; 30] = [
     "rounds",
     "messages",
     "makespan",
@@ -231,6 +232,8 @@ const METRIC_FIELDS: [&str; 28] = [
     "exchange_ms",
     "deliver_ms",
     "commit_ms",
+    "seal_ms",
+    "commit_frac",
     "other_ms",
     "attributed_pct",
     "occupancy_step",

@@ -171,7 +171,8 @@ where
     );
     assert_eq!(run.arena, plain.arena, "{label}: profiled arena differs");
     assert_eq!(
-        sink.heads, plain_sink.heads,
+        sink.heads(),
+        plain_sink.heads(),
         "{label}: profiled digest chain differs"
     );
 
@@ -215,7 +216,8 @@ where
         "{label}: profiled messages differ"
     );
     assert_eq!(
-        sink.heads, plain_sink.heads,
+        sink.heads(),
+        plain_sink.heads(),
         "{label}: profiled digest chain differs"
     );
 

@@ -192,7 +192,7 @@ where
         .expect("resuming a journaled run on its own inputs cannot fail");
     Ok(Resumed {
         from_round,
-        rounds_replayed: (sink.heads.len() as u64).saturating_sub(from_round + 1),
+        rounds_replayed: (sink.sealed_rounds() as u64).saturating_sub(from_round + 1),
         sink,
         run,
     })
@@ -232,7 +232,7 @@ where
         .expect("resuming a journaled run on its own inputs cannot fail");
     Ok(Resumed {
         from_round,
-        rounds_replayed: (sink.heads.len() as u64).saturating_sub(from_round + 1),
+        rounds_replayed: (sink.sealed_rounds() as u64).saturating_sub(from_round + 1),
         sink,
         run,
     })
@@ -276,7 +276,7 @@ where
         .expect("resuming a journaled run on its own inputs cannot fail");
     Ok(Resumed {
         from_round,
-        rounds_replayed: (sink.heads.len() as u64).saturating_sub(from_round + 1),
+        rounds_replayed: (sink.sealed_rounds() as u64).saturating_sub(from_round + 1),
         sink,
         run,
     })

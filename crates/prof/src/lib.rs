@@ -41,7 +41,7 @@ pub use chrome::chrome_profile;
 pub use localize::{calibrate_threshold, first_regression};
 
 use mfd_runtime::profile::{
-    Profiler, RoundSample, PHASES, PHASE_DELIVER, PHASE_NAMES, PHASE_SCAN, PHASE_STEP,
+    Profiler, RoundSample, PHASES, PHASE_COMMIT, PHASE_DELIVER, PHASE_NAMES, PHASE_SCAN, PHASE_STEP,
 };
 
 /// A complete wall-clock profile of one run: every [`RoundSample`] the
@@ -133,6 +133,11 @@ pub struct Culprit {
 pub struct StragglerReport {
     /// Aggregates for every phase, in [`PHASE_NAMES`] order.
     pub phases: [PhaseStats; PHASES],
+    /// Wall time inside the observer's `round_sealed` hook summed over
+    /// rounds — the digest-chain fold, broken out of the commit wall so a
+    /// fat commit can be read as "fold cost" versus "resolution cost"
+    /// (see [`Profile::seal_ns_total`]).
+    pub seal_ns: u64,
     /// The phase the culprits are ranked by.
     pub culprit_phase: &'static str,
     /// Top-k shards by busy time in `culprit_phase`, descending.
@@ -218,6 +223,28 @@ impl Profile {
             return 1.0;
         }
         (self.attributed_ns().min(self.total_ns)) as f64 / self.total_ns as f64
+    }
+
+    /// Wall time inside `round_sealed` summed over rounds — the sequential
+    /// digest-chain fold (for deferring sinks: the per-round snapshot plus
+    /// whichever rounds absorbed a batched parallel flush, so the per-round
+    /// series is lumpy but the total is meaningful). A sub-span of the
+    /// commit wall; 0 when tracing is disabled.
+    pub fn seal_ns_total(&self) -> u64 {
+        self.rounds.iter().map(|r| r.seal_ns).sum()
+    }
+
+    /// The measured commit share: commit wall summed over rounds divided by
+    /// the total round wall (`wall_ns` summed over rounds). This is the
+    /// thread-scaling ceiling imposed by the sequential resolution point —
+    /// by Amdahl, the run cannot speed up past `1 / commit_frac` no matter
+    /// the worker count. 0.0 when no rounds executed.
+    pub fn commit_frac(&self) -> f64 {
+        let round_wall: u64 = self.rounds.iter().map(|r| r.wall_ns).sum();
+        if round_wall == 0 {
+            return 0.0;
+        }
+        self.phase_wall_totals()[PHASE_COMMIT] as f64 / round_wall as f64
     }
 
     /// Total frontier (active vertices summed over rounds and shards).
@@ -385,6 +412,7 @@ impl Profile {
             .collect();
         StragglerReport {
             phases,
+            seal_ns: self.seal_ns_total(),
             culprit_phase: PHASE_NAMES[culprit_phase],
             culprits,
         }
@@ -418,6 +446,13 @@ impl Profile {
                 stats.occupancy,
                 stats.imbalance,
             ));
+            if stats.name == PHASE_NAMES[PHASE_COMMIT] {
+                out.push_str(&format!(
+                    "           of which digest fold (seal) {:.3} ms; commit_frac {:.3}\n",
+                    ms(report.seal_ns),
+                    self.commit_frac(),
+                ));
+            }
         }
         out.push_str(&format!("stragglers ({} phase):\n", report.culprit_phase));
         for c in &report.culprits {
@@ -458,6 +493,7 @@ mod tests {
             ..RoundSample::default()
         };
         r1.phase_wall_ns = [400, 4_100, 50, 60, 250, 3_000];
+        r1.seal_ns = 500;
         let mut r2 = RoundSample {
             round: 2,
             start_ns: 11_000,
@@ -473,6 +509,7 @@ mod tests {
             ..RoundSample::default()
         };
         r2.phase_wall_ns = [250, 2_200, 40, 50, 350, 2_500];
+        r2.seal_ns = 300;
         p.record_round(&r1);
         p.record_round(&r2);
         p.finish(20_000);
@@ -541,6 +578,21 @@ mod tests {
         let summary = p.summary();
         assert!(summary.contains("2 shards x 2 threads"));
         assert!(summary.contains("stragglers (step phase)"));
+    }
+
+    #[test]
+    fn commit_frac_and_seal_total_break_out_the_fold() {
+        let p = sample_profile();
+        assert_eq!(p.seal_ns_total(), 800);
+        // commit walls 3000 + 2500 over round walls 10000 + 8000.
+        assert!((p.commit_frac() - 5_500.0 / 18_000.0).abs() < 1e-12);
+        let report = p.straggler_report(1);
+        assert_eq!(report.seal_ns, 800);
+        let summary = p.summary();
+        assert!(summary.contains("digest fold (seal) 0.001 ms"));
+        assert!(summary.contains("commit_frac 0.306"));
+        // An empty profile divides by nothing.
+        assert_eq!(Profile::new().commit_frac(), 0.0);
     }
 
     #[test]

@@ -171,7 +171,10 @@ impl Executor {
     /// disabled instantiation compiles to the untraced loop. Hooks fire only
     /// at sequential commit points (never inside the parallel sweep), so the
     /// event stream is deterministic in the thread count, like the run
-    /// itself.
+    /// itself. Per-vertex digests are *computed* inside the sweep — via the
+    /// pure [`mfd_trace::RunObserver::state_digest`] function, each vertex's
+    /// digest riding in its own result slot — and delivered to the sink
+    /// sequentially in vertex order: same stream, off the serialized path.
     ///
     /// # Errors
     ///
@@ -435,10 +438,15 @@ where
 
         // Round 0 is the initial configuration: digest every vertex once so
         // two runs that differ already at init diverge at round 0, not 1.
-        if O::ENABLED {
-            for (v, state) in states.iter().enumerate() {
-                observer.vertex_state(EngineKind::Executor, 0, v, state);
+        // Hashing runs in the parallel pass; delivery stays sequential and
+        // in vertex order, so the observed stream is unchanged.
+        if O::ENABLED && observer.wants_digests() {
+            let digests: Vec<u64> = states.par_iter().map(|s| O::state_digest(s)).collect();
+            for (v, digest) in digests.into_iter().enumerate() {
+                observer.vertex_digest(EngineKind::Executor, 0, v, digest);
             }
+        }
+        if O::ENABLED {
             observer.round_sealed(EngineKind::Executor, 0);
         }
 
@@ -611,7 +619,13 @@ where
             self.sample.phase_start_ns[PHASE_STEP] = self.offset_ns();
         }
         let active_ref = &active;
-        let outs: Vec<Option<VertexRound<P::Msg>>> = self
+        // Per-vertex digests are computed inside the sweep (each vertex's
+        // worker hashes the state it just committed) and ride in the
+        // vertex's own result slot; the sequential commit loop below only
+        // *delivers* them, in vertex order — same values, same order as
+        // hashing at the sequential point, but off the serialized path.
+        let want_digests = O::ENABLED && self.observer.wants_digests();
+        let outs: Vec<Option<(VertexRound<P::Msg>, u64)>> = self
             .states
             .par_iter_mut()
             .enumerate()
@@ -620,7 +634,13 @@ where
                     return None;
                 }
                 let ctx = NodeCtx::new(v, n, round, &adj[v], seed);
-                Some(driver::step_vertex(program, &ctx, state, &inbox_ref[v]))
+                let out = driver::step_vertex(program, &ctx, state, &inbox_ref[v]);
+                let digest = if want_digests {
+                    O::state_digest(state)
+                } else {
+                    0
+                };
+                Some((out, digest))
             })
             .collect();
         if PR::ENABLED {
@@ -637,11 +657,14 @@ where
         let mut round_msgs: Vec<Message> = Vec::new();
         let mut send_violation: Option<CongestError> = None;
         for (v, out) in outs.into_iter().enumerate() {
-            let Some(VertexRound {
-                sends,
-                halted: now_halted,
-                violation,
-            }) = out
+            let Some((
+                VertexRound {
+                    sends,
+                    halted: now_halted,
+                    violation,
+                },
+                digest,
+            )) = out
             else {
                 continue;
             };
@@ -657,8 +680,10 @@ where
                     inbox: self.inbox[v].len(),
                     sent: sends.len(),
                 });
-                self.observer
-                    .vertex_state(EngineKind::Executor, round, v, &self.states[v]);
+                if want_digests {
+                    self.observer
+                        .vertex_digest(EngineKind::Executor, round, v, digest);
+                }
             }
             for (dst, msg, words) in sends {
                 round_msgs.push(Message { src: v, dst, words });
@@ -677,7 +702,13 @@ where
                 round,
                 messages: self.meter.messages(),
             });
-            self.observer.round_sealed(EngineKind::Executor, round);
+            if PR::ENABLED {
+                let seal_start = Instant::now();
+                self.observer.round_sealed(EngineKind::Executor, round);
+                self.sample.seal_ns = seal_start.elapsed().as_nanos() as u64;
+            } else {
+                self.observer.round_sealed(EngineKind::Executor, round);
+            }
         }
         if PR::ENABLED {
             let now = self.offset_ns();

@@ -43,7 +43,11 @@ pub const PHASES: usize = 6;
 /// * `deliver` — parallel drain of staged buckets into the next-round
 ///   mailboxes and the double-buffer swap (per-shard busy times).
 /// * `commit` — the sequential resolution point: violation scan, meter seal,
-///   and every observer/digest hook of the round.
+///   and the delivery of every observer hook of the round. Per-vertex
+///   digests are *computed* inside the parallel sweep (`step`); commit only
+///   delivers the precomputed values and runs the (cheap, possibly deferred)
+///   chain fold, whose wall time is broken out in
+///   [`RoundSample::seal_ns`].
 ///
 /// The unsharded executor maps onto the same slots with `route` and
 /// `exchange` identically zero (its sequential commit loop delivers sends
@@ -87,6 +91,12 @@ pub struct RoundSample {
     /// wall time (slowest worker); for sequential phases it equals the
     /// phase's busy time.
     pub phase_wall_ns: [u64; PHASES],
+    /// Wall time spent inside the observer's `round_sealed` hook — the
+    /// sequential digest-chain fold (or, for a deferring sink, the snapshot
+    /// plus any batched parallel flush that fell on this round, which makes
+    /// the series lumpy by design). A sub-span of the commit phase wall;
+    /// 0 when tracing is disabled.
+    pub seal_ns: u64,
     /// Per-shard busy time inside the frontier scan.
     pub shard_scan_ns: Vec<u64>,
     /// Per-shard busy time inside the sweep.
@@ -122,6 +132,7 @@ impl RoundSample {
         self.wall_ns = 0;
         self.phase_start_ns = [0; PHASES];
         self.phase_wall_ns = [0; PHASES];
+        self.seal_ns = 0;
         self.shard_scan_ns.clear();
         self.shard_step_ns.clear();
         self.shard_deliver_ns.clear();

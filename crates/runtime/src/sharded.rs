@@ -258,6 +258,11 @@ struct ShardState<S, M> {
     /// `(local vertex, inbox length, sends)` per active vertex, recorded
     /// only when tracing is enabled.
     meta: Vec<(usize, usize, usize)>,
+    /// Post-step state digest per active vertex, aligned with `meta` —
+    /// computed inside the parallel sweep (this shard's result slot) so the
+    /// sequential commit point only delivers values. Populated only when the
+    /// observer wants digests.
+    digests: Vec<u64>,
     /// Messages this shard sent this round.
     msgs: u64,
     /// Largest per-directed-edge word load this shard produced this round.
@@ -315,6 +320,7 @@ impl<S: Send + Sync, M: Send + Sync> ShardState<S, M> {
         chunk: usize,
         capacity_words: usize,
         trace: bool,
+        digest_of: Option<fn(&S) -> u64>,
     ) where
         P: NodeProgram<State = S, Msg = M>,
     {
@@ -323,6 +329,7 @@ impl<S: Send + Sync, M: Send + Sync> ShardState<S, M> {
         self.send_violation = None;
         self.bw_violation = None;
         self.meta.clear();
+        self.digests.clear();
         for i in 0..self.active.len() {
             let local = self.active[i];
             let v = self.start + local;
@@ -340,6 +347,9 @@ impl<S: Send + Sync, M: Send + Sync> ShardState<S, M> {
             if trace {
                 self.meta
                     .push((local, self.inbox[local].len(), sends.len()));
+                if let Some(digest) = digest_of {
+                    self.digests.push(digest(&self.states[local]));
+                }
             }
             // Per-edge bandwidth: each directed edge (v, dst) is loaded only
             // by sends from this vertex, so a local accumulator over the
@@ -471,6 +481,7 @@ where
                     scratch: Vec::new(),
                     touched: Vec::new(),
                     meta: Vec::new(),
+                    digests: Vec::new(),
                     msgs: 0,
                     max_on_edge: 0,
                     send_violation: None,
@@ -520,16 +531,24 @@ where
             round: 0,
         };
         // Round 0: digest the initial configuration, exactly as the
-        // unsharded engine does.
+        // unsharded engine does. Hashing runs in parallel over shards;
+        // delivery stays sequential and in ascending vertex order.
         if O::ENABLED {
-            for shard in &engine.shards {
-                for (local, state) in shard.states.iter().enumerate() {
-                    engine.observer.vertex_state(
-                        EngineKind::Executor,
-                        0,
-                        shard.start + local,
-                        state,
-                    );
+            if engine.observer.wants_digests() {
+                let digests: Vec<Vec<u64>> = engine
+                    .shards
+                    .par_iter()
+                    .map(|shard| shard.states.iter().map(|s| O::state_digest(s)).collect())
+                    .collect();
+                for (shard, shard_digests) in engine.shards.iter().zip(digests) {
+                    for (local, digest) in shard_digests.into_iter().enumerate() {
+                        engine.observer.vertex_digest(
+                            EngineKind::Executor,
+                            0,
+                            shard.start + local,
+                            digest,
+                        );
+                    }
                 }
             }
             engine.observer.round_sealed(EngineKind::Executor, 0);
@@ -624,8 +643,14 @@ where
                 active,
             });
         }
-        // Parallel shard sweep over the active frontier only.
+        // Parallel shard sweep over the active frontier only. When the
+        // observer wants digests, each shard also hashes the states it just
+        // stepped (the digests ride in the shard's own result slot) so the
+        // sequential commit point below only delivers precomputed values.
         let capacity = self.capacity_words;
+        let want_digests = O::ENABLED && self.observer.wants_digests();
+        let digest_of: Option<fn(&P::State) -> u64> =
+            want_digests.then_some(O::state_digest as fn(&P::State) -> u64);
         if PR::ENABLED {
             self.sample.phase_start_ns[PHASE_STEP] = self.offset_ns();
         }
@@ -636,10 +661,30 @@ where
             .map(|(_, shard)| {
                 if PR::ENABLED {
                     let busy = Instant::now();
-                    shard.sweep(program, g, n, round, seed, chunk, capacity, O::ENABLED);
+                    shard.sweep(
+                        program,
+                        g,
+                        n,
+                        round,
+                        seed,
+                        chunk,
+                        capacity,
+                        O::ENABLED,
+                        digest_of,
+                    );
                     busy.elapsed().as_nanos() as u64
                 } else {
-                    shard.sweep(program, g, n, round, seed, chunk, capacity, O::ENABLED);
+                    shard.sweep(
+                        program,
+                        g,
+                        n,
+                        round,
+                        seed,
+                        chunk,
+                        capacity,
+                        O::ENABLED,
+                        digest_of,
+                    );
                     0
                 }
             })
@@ -678,7 +723,7 @@ where
         let max_on_edge = self.shards.iter().map(|s| s.max_on_edge).max().unwrap_or(0);
         if O::ENABLED {
             for shard in &self.shards {
-                for &(local, inbox, sent) in &shard.meta {
+                for (i, &(local, inbox, sent)) in shard.meta.iter().enumerate() {
                     let vertex = shard.start + local;
                     self.observer.event(&Event::VertexStep {
                         engine: EngineKind::Executor,
@@ -687,12 +732,14 @@ where
                         inbox,
                         sent,
                     });
-                    self.observer.vertex_state(
-                        EngineKind::Executor,
-                        round,
-                        vertex,
-                        &shard.states[local],
-                    );
+                    if want_digests {
+                        self.observer.vertex_digest(
+                            EngineKind::Executor,
+                            round,
+                            vertex,
+                            shard.digests[i],
+                        );
+                    }
                 }
             }
         }
@@ -706,7 +753,13 @@ where
                 round,
                 messages: self.meter.messages(),
             });
-            self.observer.round_sealed(EngineKind::Executor, round);
+            if PR::ENABLED {
+                let seal_start = Instant::now();
+                self.observer.round_sealed(EngineKind::Executor, round);
+                self.sample.seal_ns = seal_start.elapsed().as_nanos() as u64;
+            } else {
+                self.observer.round_sealed(EngineKind::Executor, round);
+            }
         }
 
         // Exchange: move each shard's outgoing buckets into the transfer
@@ -867,7 +920,7 @@ mod tests {
                     run.meter.max_words_on_edge(),
                     reference.meter.max_words_on_edge()
                 );
-                assert_eq!(sink.heads, reference_sink.heads, "digest chains");
+                assert_eq!(sink.heads(), reference_sink.heads(), "digest chains");
             }
         }
     }

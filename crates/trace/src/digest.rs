@@ -1,6 +1,9 @@
 //! [`DigestSink`]: a per-round journal of the whole network's state.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+use rayon::prelude::*;
 
 use crate::{fnv1a_fold, EngineKind, TraceSink, FNV_OFFSET};
 
@@ -66,10 +69,21 @@ pub struct ChainMismatch {
 /// One sink instance journals one run (the engine tag is recorded from the
 /// first seal; feeding two engines into one instance is a usage error and
 /// panics).
+///
+/// # Deferred folding (large runs)
+///
+/// FNV-1a chaining is strictly sequential *within* one fold, but each
+/// round's fold over the full current vector is independent of every other
+/// round's — only the final head chaining (one `fnv1a_fold` per round) has
+/// to run in order. Above `DEFERRED_MIN_VERTICES` (16384) the sink therefore
+/// snapshots the current vector at each seal and folds a batch of snapshots
+/// in parallel (rayon over rounds) before chaining the results sequentially.
+/// The chain *values* are bit-identical to eager folding — the definition of
+/// the chain is unchanged, only when the per-round folds execute moved — and
+/// every accessor flushes first, so the deferral is unobservable. Verify
+/// mode and snapshot logging need the head at every seal and stay eager.
 #[derive(Debug, Default)]
 pub struct DigestSink {
-    /// `(round, chain head after that round)` in seal order.
-    pub heads: Vec<(u64, u64)>,
     engine: Option<EngineKind>,
     current: Vec<u64>,
     pending: BTreeMap<u64, Vec<(usize, u64)>>,
@@ -80,6 +94,72 @@ pub struct DigestSink {
     pub snapshot_log: Vec<Vec<u64>>,
     reference: Option<Vec<u64>>,
     first_mismatch: Option<ChainMismatch>,
+    /// The chain itself plus the deferred-fold queue, behind a `RefCell`
+    /// because read accessors (`head`, `chain`, `export`, …) take `&self`
+    /// but must flush pending folds first.
+    chain_state: RefCell<ChainState>,
+}
+
+/// Vertex count below which seals fold eagerly: deferral exists to
+/// parallelize million-element folds, and below this size the snapshot copy
+/// costs more than the fold.
+const DEFERRED_MIN_VERTICES: usize = 1 << 14;
+
+/// Cap on memory held by deferred snapshots (bounds the batch size on huge
+/// graphs; a 10⁷-vertex run defers at most 4 rounds under this cap).
+const DEFERRED_MAX_BYTES: usize = 256 << 20;
+
+#[derive(Debug, Default)]
+struct ChainState {
+    /// `(round, chain head after that round)` in seal order.
+    heads: Vec<(u64, u64)>,
+    /// Sealed rounds whose full-vector folds are postponed:
+    /// `(round, snapshot of `current` at that seal)`, in seal order.
+    deferred: Vec<(u64, Vec<u64>)>,
+    /// Retired snapshot buffers, reused so a steady-state deferred seal is
+    /// one memcpy, not an allocation.
+    spare: Vec<Vec<u64>>,
+}
+
+impl ChainState {
+    fn head(&self) -> u64 {
+        self.heads.last().map_or(FNV_OFFSET, |&(_, head)| head)
+    }
+
+    /// The batch size that triggers a flush: one snapshot fold per worker,
+    /// memory-capped.
+    fn flush_batch(n: usize) -> usize {
+        let by_memory = (DEFERRED_MAX_BYTES / (8 * n.max(1))).max(1);
+        rayon::current_num_threads().max(1).min(by_memory)
+    }
+
+    /// Folds every deferred snapshot (in parallel across rounds) and chains
+    /// the results sequentially in seal order.
+    fn flush(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let ChainState {
+            heads,
+            deferred,
+            spare,
+        } = self;
+        let round_digests: Vec<u64> = deferred
+            .par_iter()
+            .map(|(_, snapshot)| {
+                snapshot
+                    .iter()
+                    .fold(FNV_OFFSET, |acc, &d| fnv1a_fold(acc, d))
+            })
+            .collect();
+        let mut head = heads.last().map_or(FNV_OFFSET, |&(_, h)| h);
+        for ((round, mut snapshot), round_digest) in deferred.drain(..).zip(round_digests) {
+            head = fnv1a_fold(head, round_digest);
+            heads.push((round, head));
+            snapshot.clear();
+            spare.push(snapshot);
+        }
+    }
 }
 
 impl DigestSink {
@@ -97,16 +177,48 @@ impl DigestSink {
         }
     }
 
+    /// Folds any deferred rounds into the chain (no-op in eager mode).
+    fn flush(&self) {
+        self.chain_state.borrow_mut().flush();
+    }
+
     /// The chain head after the last sealed round (the run's digest), or the
     /// FNV offset basis for an empty run.
     pub fn head(&self) -> u64 {
-        self.heads.last().map_or(FNV_OFFSET, |&(_, head)| head)
+        self.flush();
+        self.chain_state.borrow().head()
+    }
+
+    /// `(round, chain head after that round)` per sealed round, in seal
+    /// order.
+    pub fn heads(&self) -> Vec<(u64, u64)> {
+        self.flush();
+        self.chain_state.borrow().heads.clone()
+    }
+
+    /// The chain entry of one sealed round: `(round, head)` at chain index
+    /// `index` (engines seal every round, so index equals round).
+    pub fn head_at(&self, index: usize) -> Option<(u64, u64)> {
+        self.flush();
+        self.chain_state.borrow().heads.get(index).copied()
+    }
+
+    /// Sealed rounds so far (the chain's length).
+    pub fn sealed_rounds(&self) -> usize {
+        self.flush();
+        self.chain_state.borrow().heads.len()
     }
 
     /// The head sequence alone, in seal order — the input to
     /// [`crate::first_divergence`].
     pub fn chain(&self) -> Vec<u64> {
-        self.heads.iter().map(|&(_, head)| head).collect()
+        self.flush();
+        self.chain_state
+            .borrow()
+            .heads
+            .iter()
+            .map(|&(_, head)| head)
+            .collect()
     }
 
     /// A sink in **verify mode**: it journals as usual *and* streams every
@@ -142,10 +254,11 @@ impl DigestSink {
     /// unequal-length chains.
     pub fn reference_verdict(&self) -> Option<ChainMismatch> {
         let reference = self.reference.as_ref()?;
+        let sealed = self.sealed_rounds();
         self.first_mismatch.or_else(|| {
-            (self.heads.len() < reference.len()).then(|| ChainMismatch {
-                round: self.heads.len() as u64,
-                expected: Some(reference[self.heads.len()]),
+            (sealed < reference.len()).then(|| ChainMismatch {
+                round: sealed as u64,
+                expected: Some(reference[sealed]),
                 got: None,
             })
         })
@@ -158,7 +271,7 @@ impl DigestSink {
     pub fn export(&self) -> DigestState {
         DigestState {
             engine: self.engine,
-            heads: self.heads.clone(),
+            heads: self.heads(),
             current: self.current.clone(),
             pending: self
                 .pending
@@ -177,10 +290,13 @@ impl DigestSink {
     /// snapshot logging are off (chain them with struct update if needed).
     pub fn restore(state: DigestState) -> Self {
         DigestSink {
-            heads: state.heads,
             engine: state.engine,
             current: state.current,
             pending: state.pending.into_iter().collect(),
+            chain_state: RefCell::new(ChainState {
+                heads: state.heads,
+                ..ChainState::default()
+            }),
             ..DigestSink::default()
         }
     }
@@ -234,27 +350,46 @@ impl TraceSink for DigestSink {
                 }
             }
         }
-        let round_digest = self
-            .current
-            .iter()
-            .fold(FNV_OFFSET, |acc, &d| fnv1a_fold(acc, d));
-        let head = fnv1a_fold(self.head(), round_digest);
-        if let Some(reference) = &self.reference {
-            if self.first_mismatch.is_none() {
-                let index = self.heads.len();
-                let expected = reference.get(index).copied();
-                if expected != Some(head) {
-                    self.first_mismatch = Some(ChainMismatch {
-                        round: index as u64,
-                        expected,
-                        got: Some(head),
-                    });
+        // Verify mode and snapshot logging need the head (or the vector) at
+        // every seal; small runs fold cheaper than they copy. Everything
+        // else defers the expensive full-vector fold and batches it in
+        // parallel across rounds — same chain values, off the sequential
+        // commit path.
+        let eager = self.reference.is_some()
+            || self.snapshots
+            || self.current.len() < DEFERRED_MIN_VERTICES;
+        let chain = self.chain_state.get_mut();
+        if eager {
+            chain.flush();
+            let round_digest = self
+                .current
+                .iter()
+                .fold(FNV_OFFSET, |acc, &d| fnv1a_fold(acc, d));
+            let head = fnv1a_fold(chain.head(), round_digest);
+            if let Some(reference) = &self.reference {
+                if self.first_mismatch.is_none() {
+                    let index = chain.heads.len();
+                    let expected = reference.get(index).copied();
+                    if expected != Some(head) {
+                        self.first_mismatch = Some(ChainMismatch {
+                            round: index as u64,
+                            expected,
+                            got: Some(head),
+                        });
+                    }
                 }
             }
-        }
-        self.heads.push((round, head));
-        if self.snapshots {
-            self.snapshot_log.push(self.current.clone());
+            chain.heads.push((round, head));
+            if self.snapshots {
+                self.snapshot_log.push(self.current.clone());
+            }
+        } else {
+            let mut snapshot = chain.spare.pop().unwrap_or_default();
+            snapshot.extend_from_slice(&self.current);
+            chain.deferred.push((round, snapshot));
+            if chain.deferred.len() >= ChainState::flush_batch(self.current.len()) {
+                chain.flush();
+            }
         }
     }
 }
@@ -293,8 +428,8 @@ mod tests {
         let mut b = DigestSink::with_snapshots();
         feed(&mut b, 0, &[(0, 10), (1, 20)]);
         feed(&mut b, 1, &[(0, 11), (1, 99)]);
-        assert_eq!(a.heads[0], b.heads[0]);
-        assert_ne!(a.heads[1].1, b.heads[1].1);
+        assert_eq!(a.head_at(0), b.head_at(0));
+        assert_ne!(a.head_at(1).unwrap().1, b.head_at(1).unwrap().1);
         assert_eq!(DigestSink::diverging_vertices(&a, &b, 1), vec![1]);
     }
 
@@ -326,7 +461,7 @@ mod tests {
         let mut resumed = DigestSink::restore(state.clone());
         resumed.round_sealed(EngineKind::Executor, 2);
         feed(&mut resumed, 3, &[(0, 13), (1, 23), (2, 33)]);
-        assert_eq!(resumed.heads, full.heads);
+        assert_eq!(resumed.heads(), full.heads());
         assert_eq!(resumed.head(), full.head());
         // Export is a faithful round-trip too.
         assert_eq!(DigestSink::restore(state.clone()).export(), state);
@@ -354,6 +489,61 @@ mod tests {
         assert_eq!(run.reference_verdict(), Some(m));
         // Only the FIRST mismatch is recorded; later seals don't overwrite.
         assert_eq!(run.first_mismatch().unwrap().round, 3);
+    }
+
+    #[test]
+    fn deferred_folding_matches_eager_chain_exactly() {
+        // Above DEFERRED_MIN_VERTICES a plain sink defers its folds; a
+        // snapshot sink is forced eager. Same digests in => the chains must
+        // be bit-identical, including when accessors flush mid-run.
+        let n = DEFERRED_MIN_VERTICES + 17;
+        let mut deferred = DigestSink::new();
+        let mut eager = DigestSink::with_snapshots();
+        for round in 0..7u64 {
+            for v in 0..n {
+                let d = (v as u64).wrapping_mul(0x9e37) ^ round;
+                deferred.vertex_digest(EngineKind::Executor, round, v, d);
+                eager.vertex_digest(EngineKind::Executor, round, v, d);
+            }
+            deferred.round_sealed(EngineKind::Executor, round);
+            eager.round_sealed(EngineKind::Executor, round);
+            if round == 3 {
+                // A mid-run read must flush and agree with the eager chain.
+                assert_eq!(deferred.head(), eager.head(), "mid-run flush");
+            }
+        }
+        assert_eq!(deferred.heads(), eager.heads());
+        assert_eq!(deferred.chain(), eager.chain());
+        assert_eq!(deferred.head(), eager.head());
+        assert_eq!(deferred.sealed_rounds(), 7);
+        // Export (used by checkpoints) flushes too, and round-trips.
+        let state = deferred.export();
+        assert_eq!(state.heads, eager.heads());
+        assert_eq!(DigestSink::restore(state.clone()).export(), state);
+    }
+
+    #[test]
+    fn deferred_sink_grows_into_deferral_seamlessly() {
+        // The current vector starts tiny (eager) and crosses the threshold
+        // mid-run (deferred): the chain must stay coherent across the mode
+        // switch.
+        let mut growing = DigestSink::new();
+        let mut small = DigestSink::with_snapshots();
+        for round in 0..4u64 {
+            let n = if round < 2 {
+                8
+            } else {
+                DEFERRED_MIN_VERTICES + 3
+            };
+            for v in 0..n {
+                let d = ((v as u64) ^ (round << 32)) | 1;
+                growing.vertex_digest(EngineKind::Executor, round, v, d);
+                small.vertex_digest(EngineKind::Executor, round, v, d);
+            }
+            growing.round_sealed(EngineKind::Executor, round);
+            small.round_sealed(EngineKind::Executor, round);
+        }
+        assert_eq!(growing.heads(), small.heads());
     }
 
     #[test]

@@ -56,10 +56,13 @@
 //! * Wall-clock span durations ([`MetricsSink::with_wall_clock`],
 //!   [`jsonl::chrome_trace`] timestamps). They exist for flamegraphs, never
 //!   for comparisons; [`MetricsSink::snapshot`] omits them.
-//! * Anything scheduler-dependent. The synchronous executor sweeps vertices
-//!   in parallel but commits in vertex order, and the event engine is fully
+//! * Anything scheduler-dependent. The synchronous executors sweep vertices
+//!   in parallel but commit in vertex order, and the event engine is fully
 //!   sequential, so hooks fire at commit points only — never from inside a
-//!   parallel worker.
+//!   parallel worker. (Engines may *compute* per-vertex digests inside the
+//!   sweep via [`RunObserver::state_digest`] — a pure function of one
+//!   vertex's state — but sink delivery stays sequential and in ascending
+//!   vertex order, so the observed stream is scheduling-independent.)
 //!
 //! What is *in* a round digest: the [`Digestible::digest`] of every vertex's
 //! state at the moment the round is sealed, folded in vertex order, chained
@@ -497,8 +500,38 @@ pub trait RunObserver<S> {
     /// One engine event.
     fn event(&mut self, event: &Event);
 
+    /// Whether this observer consumes per-vertex state digests. Engines
+    /// query it once per round (at a sequential point) and skip digest
+    /// computation entirely when false — the same economy
+    /// [`TraceSink::wants_digests`] buys the `dyn` surface.
+    fn wants_digests(&self) -> bool {
+        false
+    }
+
+    /// Digests one state — a pure associated function with no receiver, so
+    /// engines can evaluate it *inside* their parallel sweeps (each vertex's
+    /// digest computed in the worker that stepped it) and deliver the
+    /// results through [`RunObserver::vertex_digest`] at the sequential
+    /// commit point. Only meaningful when [`RunObserver::wants_digests`] is
+    /// true; the default (digests unwanted) is never called.
+    fn state_digest(state: &S) -> u64
+    where
+        Self: Sized,
+    {
+        let _ = state;
+        0
+    }
+
     /// One vertex's state at a commit point of `round`.
     fn vertex_state(&mut self, engine: EngineKind, round: u64, vertex: usize, state: &S);
+
+    /// One vertex's precomputed state digest at a commit point of `round` —
+    /// the split form of [`RunObserver::vertex_state`]: engines that hash in
+    /// parallel (via [`RunObserver::state_digest`]) deliver the exact same
+    /// digests here, in the exact same ascending-vertex order.
+    fn vertex_digest(&mut self, engine: EngineKind, round: u64, vertex: usize, digest: u64) {
+        let _ = (engine, round, vertex, digest);
+    }
 
     /// Round `round` is complete (monotone: rounds seal in increasing order
     /// per engine).
@@ -536,10 +569,25 @@ impl<S: Digestible, T: TraceSink + ?Sized> RunObserver<S> for T {
         TraceSink::event(self, event);
     }
 
+    fn wants_digests(&self) -> bool {
+        TraceSink::wants_digests(self)
+    }
+
+    fn state_digest(state: &S) -> u64
+    where
+        Self: Sized,
+    {
+        state.digest()
+    }
+
     fn vertex_state(&mut self, engine: EngineKind, round: u64, vertex: usize, state: &S) {
-        if self.wants_digests() {
-            self.vertex_digest(engine, round, vertex, state.digest());
+        if TraceSink::wants_digests(self) {
+            TraceSink::vertex_digest(self, engine, round, vertex, state.digest());
         }
+    }
+
+    fn vertex_digest(&mut self, engine: EngineKind, round: u64, vertex: usize, digest: u64) {
+        TraceSink::vertex_digest(self, engine, round, vertex, digest);
     }
 
     fn round_sealed(&mut self, engine: EngineKind, round: u64) {
@@ -582,8 +630,8 @@ mod tests {
             active: 3,
         };
         TraceSink::event(&mut tee, &e);
-        assert!(tee.wants_digests());
-        tee.vertex_digest(EngineKind::Executor, 1, 0, 7);
+        assert!(TraceSink::wants_digests(&tee));
+        TraceSink::vertex_digest(&mut tee, EngineKind::Executor, 1, 0, 7);
         TraceSink::round_sealed(&mut tee, EngineKind::Executor, 1);
         assert_eq!(tee.a.events.len(), 1);
         assert_eq!(tee.b.events.len(), 1);
@@ -601,6 +649,20 @@ mod tests {
         RunObserver::<u64>::vertex_state(&mut digesting, EngineKind::Sim, 1, 0, &9);
         assert_eq!(digesting.digest_log.len(), 1);
         assert_eq!(digesting.digest_log[0].3, 9u64.digest());
+    }
+
+    #[test]
+    fn split_digest_path_matches_vertex_state() {
+        // state_digest + vertex_digest (the parallel-commit path) must land
+        // the same digests as vertex_state (the legacy path).
+        let d = <RecordingSink as RunObserver<u64>>::state_digest(&77);
+        assert_eq!(d, 77u64.digest());
+        let mut split = RecordingSink::with_digests();
+        assert!(RunObserver::<u64>::wants_digests(&split));
+        RunObserver::<u64>::vertex_digest(&mut split, EngineKind::Executor, 2, 5, d);
+        let mut legacy = RecordingSink::with_digests();
+        RunObserver::<u64>::vertex_state(&mut legacy, EngineKind::Executor, 2, 5, &77);
+        assert_eq!(split.digest_log, legacy.digest_log);
     }
 
     #[test]

@@ -54,7 +54,7 @@ proptest! {
             plain.meter.max_words_on_edge()
         );
         prop_assert_eq!(profiled.arena, plain.arena);
-        prop_assert_eq!(&sink.heads, &plain_sink.heads);
+        prop_assert_eq!(sink.heads(), plain_sink.heads());
 
         // The profile itself is structurally coherent: one sample per
         // executed round, per-shard vectors sized to the shard count, and
@@ -94,7 +94,7 @@ proptest! {
         prop_assert_eq!(&profiled.states, &plain.states);
         prop_assert_eq!(profiled.rounds, plain.rounds);
         prop_assert_eq!(profiled.messages, plain.messages);
-        prop_assert_eq!(&sink.heads, &plain_sink.heads);
+        prop_assert_eq!(sink.heads(), plain_sink.heads());
 
         prop_assert_eq!(profile.shards, 1);
         prop_assert_eq!(profile.round_count(), profiled.rounds);

@@ -171,7 +171,8 @@ fn digest_chains_are_shard_and_thread_invariant() {
                 "shards={shards} threads={threads}"
             );
             assert_eq!(
-                sink.heads, reference.heads,
+                sink.heads(),
+                reference.heads(),
                 "shards={shards} threads={threads}"
             );
         }
